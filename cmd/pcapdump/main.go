@@ -1,0 +1,65 @@
+// Command pcapdump prints a capture produced by the simulator (or by
+// `mptcpsim -pcap`) as tcpdump-style text — the closing piece of the
+// paper's tshark workflow, showing tags, sequence numbers and MPTCP DSS
+// mappings per packet.
+//
+//	mptcpsim -cc cubic -pcap run.pcap
+//	pcapdump run.pcap | head
+//	pcapdump -tag 2 run.pcap       # only Path 2's subflow
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"mptcpsim/internal/capture"
+	"mptcpsim/internal/packet"
+)
+
+func main() {
+	var (
+		tag   = flag.Int("tag", 0, "only frames with this path tag (0 = all)")
+		count = flag.Int("c", 0, "stop after this many frames (0 = all)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pcapdump [-tag N] [-c N] file.pcap")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	records, err := capture.ReadPCAP(bufio.NewReader(f))
+	if err != nil {
+		fatal(err)
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	printed := 0
+	for _, r := range records {
+		if *tag != 0 {
+			p, err := packet.Unmarshal(r.Data)
+			if err != nil || int(p.IP.Tag) != *tag {
+				continue
+			}
+		}
+		line, err := capture.FormatFrame(r)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(out, line)
+		printed++
+		if *count > 0 && printed >= *count {
+			break
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pcapdump:", err)
+	os.Exit(1)
+}

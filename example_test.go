@@ -1,0 +1,55 @@
+package mptcpsim_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mptcpsim"
+)
+
+// ExampleRunPaper runs the paper's experiment briefly and prints the
+// analytic baselines, which are exact and deterministic.
+func ExampleRunPaper() {
+	res, err := mptcpsim.RunPaper(mptcpsim.Options{
+		CC:       "cubic",
+		Duration: 200 * time.Millisecond, // the LP does not depend on the run
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LP optimum: %.0f Mbps at x1=%.0f x2=%.0f x3=%.0f\n",
+		res.Optimum.Total, res.Optimum.PerPath[0], res.Optimum.PerPath[1], res.Optimum.PerPath[2])
+	fmt.Printf("greedy trap: %.0f Mbps\n", res.Greedy[0]+res.Greedy[1]+res.Greedy[2])
+	fmt.Printf("max-min fair: %.0f Mbps\n", res.MaxMin[0]+res.MaxMin[1]+res.MaxMin[2])
+	// Output:
+	// LP optimum: 90 Mbps at x1=30 x2=10 x3=50
+	// greedy trap: 60 Mbps
+	// max-min fair: 80 Mbps
+}
+
+// ExampleNewNetwork assembles a custom two-path topology and reports its
+// optimum.
+func ExampleNewNetwork() {
+	nw := mptcpsim.NewNetwork()
+	nw.AddLink("phone", "wifi", 30, 3*time.Millisecond)
+	nw.AddLink("wifi", "server", 100, 5*time.Millisecond)
+	nw.AddLink("phone", "lte", 20, 15*time.Millisecond)
+	nw.AddLink("lte", "server", 100, 10*time.Millisecond)
+	if err := nw.Endpoints("phone", "server"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := nw.AddPath("phone", "wifi", "server"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := nw.AddPath("phone", "lte", "server"); err != nil {
+		log.Fatal(err)
+	}
+	res, err := mptcpsim.Run(nw, mptcpsim.Options{CC: "lia", Duration: 200 * time.Millisecond})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("disjoint paths aggregate to %.0f Mbps\n", res.Optimum.Total)
+	// Output:
+	// disjoint paths aggregate to 50 Mbps
+}

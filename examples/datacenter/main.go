@@ -1,0 +1,71 @@
+// The datacenter motivation the paper cites (Raiciu et al., SIGCOMM'11):
+// a leaf-spine fabric offers several equal-cost paths between two racks,
+// but one TCP flow hashes onto one of them. MPTCP with one subflow per
+// spine uses the whole fabric.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mptcpsim"
+)
+
+const spines = 4
+
+func buildFabric() *mptcpsim.Network {
+	nw := mptcpsim.NewNetwork()
+	// Hosts to top-of-rack switches, ToRs to every spine.
+	nw.AddLink("hostA", "tor1", 40, 100*time.Microsecond)
+	nw.AddLink("hostB", "tor2", 40, 100*time.Microsecond)
+	for s := 1; s <= spines; s++ {
+		spine := fmt.Sprintf("spine%d", s)
+		nw.AddLink("tor1", spine, 10, 500*time.Microsecond)
+		nw.AddLink(spine, "tor2", 10, 500*time.Microsecond)
+	}
+	if err := nw.Endpoints("hostA", "hostB"); err != nil {
+		log.Fatal(err)
+	}
+	for s := 1; s <= spines; s++ {
+		spine := fmt.Sprintf("spine%d", s)
+		if _, err := nw.AddPath("hostA", "tor1", spine, "tor2", "hostB"); err != nil {
+			log.Fatal(err)
+		}
+		if err := nw.NamePath(s, "via "+spine); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return nw
+}
+
+func main() {
+	// Single-path TCP: stuck on whatever path ECMP hashed the flow onto.
+	single, err := mptcpsim.Run(buildFabric(), mptcpsim.Options{
+		CC: "cubic", Duration: 3 * time.Second, Seed: 1,
+		SubflowPaths: []int{1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// MPTCP: one subflow per spine.
+	multi, err := mptcpsim.Run(buildFabric(), mptcpsim.Options{
+		CC: "olia", Duration: 3 * time.Second, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("fabric: %d spines x 10 Mbps; LP optimum %.0f Mbps\n\n", spines, multi.Optimum.Total)
+	fmt.Printf("single-path TCP (one ECMP bucket): %.1f Mbps\n", single.Summary.TotalMean)
+	fmt.Printf("MPTCP, %d subflows (OLIA):          %.1f Mbps (%.1fx)\n\n",
+		spines, multi.Summary.TotalMean, multi.Summary.TotalMean/single.Summary.TotalMean)
+	if err := multi.Report(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := multi.Chart(os.Stdout, "MPTCP across the fabric"); err != nil {
+		log.Fatal(err)
+	}
+}

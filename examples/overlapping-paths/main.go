@@ -1,0 +1,50 @@
+// The paper's full demo: compare how CUBIC, LIA and OLIA search for the
+// optimal throughput split on the overlapping-path network.
+//
+// CUBIC (uncoupled, per-subflow) "shakes down" into the LP optimum within
+// seconds thanks to its asynchronous sawtooth; LIA is stable but stops
+// short of the optimum; OLIA converges only on a much longer horizon.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mptcpsim"
+)
+
+func main() {
+	type run struct {
+		cc       string
+		duration time.Duration
+		note     string
+	}
+	runs := []run{
+		{"cubic", 4 * time.Second, "Fig 2a: finds the optimum, then stays noisy"},
+		{"lia", 4 * time.Second, "stable but never reaches the optimum"},
+		{"olia", 4 * time.Second, "Fig 2b: far from the optimum at this horizon"},
+		{"olia", 25 * time.Second, "the same OLIA converges given ~15-20s"},
+	}
+	for _, r := range runs {
+		res, err := mptcpsim.RunPaper(mptcpsim.Options{CC: r.cc, Duration: r.duration, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s over %v — %s ===\n", r.cc, r.duration, r.note)
+		if err := res.Report(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		title := fmt.Sprintf("MPTCP-%s, %v", r.cc, r.duration)
+		if err := res.Chart(os.Stdout, title); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Summary: the LP optimum is 90 Mbps = {x1=30, x2=10, x3=50}.")
+	fmt.Println("Greedy filling of the default path reaches only 60 Mbps; escaping")
+	fmt.Println("it requires lowering Path 2's rate so Paths 1 and 3 gain 2x as much.")
+}

@@ -1,0 +1,309 @@
+package mptcpsim
+
+import (
+	"fmt"
+	"time"
+
+	"mptcpsim/internal/capture"
+	"mptcpsim/internal/cc"
+	"mptcpsim/internal/lp"
+	"mptcpsim/internal/mptcp"
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/packet"
+	"mptcpsim/internal/route"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/stats"
+	"mptcpsim/internal/tcp"
+	"mptcpsim/internal/topo"
+	"mptcpsim/internal/trace"
+	"mptcpsim/internal/unit"
+	"mptcpsim/internal/workload"
+)
+
+// RunPaper executes the paper's experiment on the Fig. 1a network with
+// Path 2 as the default subflow (unless opts.SubflowPaths overrides it).
+func RunPaper(opts Options) (*Result, error) {
+	if len(opts.SubflowPaths) == 0 {
+		opts.SubflowPaths = []int{2, 1, 3}
+	}
+	return Run(PaperNetwork(), opts)
+}
+
+// Run executes one experiment on the given network and returns the
+// measured series, the analytic baselines and the run summary.
+func Run(nw *Network, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := nw.validate(); err != nil {
+		return nil, err
+	}
+	order := opts.SubflowPaths
+	if len(order) == 0 {
+		order = make([]int, nw.NumPaths())
+		for i := range order {
+			order[i] = i + 1
+		}
+	}
+	for _, p := range order {
+		if p < 1 || p > nw.NumPaths() {
+			return nil, fmt.Errorf("mptcpsim: SubflowPaths references path %d of %d", p, nw.NumPaths())
+		}
+	}
+
+	// Analytic baselines.
+	res := &Result{}
+	prob := lp.MaxThroughput(nw.graph, nw.paths)
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("mptcpsim: LP: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("mptcpsim: LP not optimal: %v", sol.Status)
+	}
+	res.Optimum = Allocation{PerPath: sol.X, Total: sol.Objective}
+	res.Problem = prob.String()
+	res.MaxMin = lp.MaxMin(nw.graph, nw.paths)
+	res.PropFair = lp.PropFair(nw.graph, nw.paths, 0)
+	zeroBased := make([]int, len(order))
+	for i, p := range order {
+		zeroBased[i] = p - 1
+	}
+	res.Greedy = lp.GreedySequential(nw.graph, nw.paths, zeroBased)
+
+	// Scale queues in place for this run, restoring the original values
+	// afterwards so a Network can be reused across runs with different
+	// options (including explicit SetQueue settings).
+	g := nw.graph
+	if opts.QueueScale != 1 {
+		orig := make([]unit.ByteSize, g.NumLinks())
+		for i, l := range g.Links() {
+			orig[i] = l.Queue
+			q := l.Queue
+			if q <= 0 {
+				q = l.Rate.Bytes(netem.DefaultQueueTime)
+				if q < netem.MinQueue {
+					q = netem.MinQueue
+				}
+			}
+			l.Queue = unit.ByteSize(float64(q) * opts.QueueScale)
+			if l.Queue < 2*1500 {
+				l.Queue = 2 * 1500
+			}
+			g.Links()[i] = l
+		}
+		defer func() {
+			for i, l := range g.Links() {
+				l.Queue = orig[i]
+				g.Links()[i] = l
+			}
+		}()
+	}
+
+	// Engine.
+	loop := sim.NewLoop()
+	rng := sim.NewRand(opts.Seed)
+	table := route.NewTagTable(g)
+	net, err := netem.New(loop, g, table)
+	if err != nil {
+		return nil, err
+	}
+	for lid, p := range nw.loss {
+		net.Link(lid).SetLoss(p, rng.Fork())
+	}
+
+	// Per-run micro-jitter: real testbeds never repeat exactly (interrupt
+	// timing, scheduler noise), and the paper's run-to-run differences
+	// ("OLIA reached the optimum in many measurements") depend on it. A
+	// seeded sub-RTT perturbation of link latencies reproduces that
+	// variability deterministically per seed.
+	jr := rng.Fork()
+	for _, l := range net.Links() {
+		l.Spec.Delay += time.Duration(jr.Int63n(int64(80 * time.Microsecond)))
+	}
+
+	sender := tcp.NewHost(net, nw.src, rng.Fork())
+	receiver := tcp.NewHost(net, nw.dst, rng.Fork())
+
+	// Install forward and reverse tag routes for every path.
+	for i, p := range nw.paths {
+		tag := packet.Tag(i + 1)
+		if err := table.AddPath(receiver.Addr, tag, p); err != nil {
+			return nil, err
+		}
+		rev, err := topo.ReversePath(g, p)
+		if err != nil {
+			return nil, err
+		}
+		if err := table.AddPath(sender.Addr, tag, rev); err != nil {
+			return nil, err
+		}
+	}
+
+	// Receiver side: MPTCP acceptor plus the tshark-style capture.
+	acc := &mptcp.Acceptor{}
+	if err := mptcp.Listen(receiver, ServerPort, tcp.Config{
+		DelAckCount: opts.DelAckCount,
+		DisableSACK: opts.DisableSACK,
+		Timestamps:  opts.Timestamps,
+	}, acc); err != nil {
+		return nil, err
+	}
+	sniff := capture.NewSniffer(net, nw.dst, opts.SampleInterval)
+	sniff.DataOnly = true
+	sniff.Retain = opts.RetainPackets
+
+	// Competing single-path TCP flows (fairness experiments). Each gets a
+	// private tag aliased to its path so the capture can separate it from
+	// the MPTCP subflows.
+	const crossTagBase = 100
+	if len(opts.CrossTCP) > 0 {
+		crossCC := opts.CrossCC
+		if crossCC == "" {
+			crossCC = "cubic"
+		}
+		if err := receiver.Listen(ServerPort+1, &tcp.Listener{
+			ConfigFor: func([]packet.Option, packet.Endpoint) tcp.Config {
+				return tcp.Config{Sink: &tcp.CountSink{}, DisableSACK: opts.DisableSACK}
+			},
+		}); err != nil {
+			return nil, err
+		}
+		for i, pnum := range opts.CrossTCP {
+			if pnum < 1 || pnum > nw.NumPaths() {
+				return nil, fmt.Errorf("mptcpsim: CrossTCP references path %d of %d", pnum, nw.NumPaths())
+			}
+			tag := packet.Tag(crossTagBase + i)
+			p := nw.paths[pnum-1]
+			if err := table.AddPath(receiver.Addr, tag, p); err != nil {
+				return nil, err
+			}
+			rev, err := topo.ReversePath(g, p)
+			if err != nil {
+				return nil, err
+			}
+			if err := table.AddPath(sender.Addr, tag, rev); err != nil {
+				return nil, err
+			}
+			algo, err := cc.New(crossCC)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := sender.Dial(tcp.Config{
+				Tag:         tag,
+				CC:          algo,
+				Source:      tcp.BulkSource{},
+				DisableSACK: opts.DisableSACK,
+				FlowID:      fmt.Sprintf("tcp-%d", i+1),
+			}, receiver.Addr, ServerPort+1); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Sender side: one subflow per requested path, in priority order.
+	specs := make([]mptcp.SubflowSpec, len(order))
+	for i, pnum := range order {
+		delay := time.Duration(i) * time.Millisecond
+		if i > 0 {
+			// Additional subflows join with a little scheduling noise, like
+			// a path manager racing the first handshake.
+			delay += time.Duration(jr.Int63n(int64(2 * time.Millisecond)))
+		}
+		specs[i] = mptcp.SubflowSpec{
+			Tag:        packet.Tag(pnum),
+			Label:      nw.pathNames[pnum-1],
+			StartDelay: delay,
+		}
+	}
+	var src mptcp.DataSource
+	var fixed *workload.Fixed
+	if opts.TransferBytes > 0 {
+		fixed = &workload.Fixed{Total: opts.TransferBytes}
+		src = fixed
+	}
+	conn, err := mptcp.Dial(sender, rng.Fork(), mptcp.Config{
+		Algorithm: opts.CC,
+		Scheduler: opts.Scheduler,
+		Subflows:  specs,
+		Source:    src,
+		TCP: tcp.Config{
+			DelAckCount: opts.DelAckCount,
+			DisableSACK: opts.DisableSACK,
+			Timestamps:  opts.Timestamps,
+		},
+	}, receiver.Addr, ServerPort)
+	if err != nil {
+		return nil, err
+	}
+
+	if err := loop.RunUntil(sim.Time(opts.Duration)); err != nil {
+		return nil, err
+	}
+
+	// Collect per-path series in path order (not subflow order).
+	pathSeries := make([]*trace.Series, nw.NumPaths())
+	for i := range nw.paths {
+		pathSeries[i] = sniff.Series(packet.Tag(i+1), nw.pathNames[i], opts.Duration)
+	}
+	total, err := trace.Sum("Total", pathSeries...)
+	if err != nil {
+		return nil, err
+	}
+	greedyTotal := 0.0
+	for _, v := range res.Greedy {
+		greedyTotal += v
+	}
+	res.Summary = stats.Summarize(opts.CC, total, pathSeries,
+		res.Optimum.Total, greedyTotal, opts.ConvergenceTol, opts.ConvergenceHold)
+	for i, pnum := range opts.CrossTCP {
+		s := sniff.Series(packet.Tag(crossTagBase+i),
+			fmt.Sprintf("TCP on %s", nw.pathNames[pnum-1]), opts.Duration)
+		res.Cross = append(res.Cross, fromTrace(s))
+	}
+	res.Paths = make([]Series, len(pathSeries))
+	for i, s := range pathSeries {
+		res.Paths[i] = fromTrace(s)
+	}
+	res.Total = fromTrace(total)
+	res.Options = opts
+
+	// Subflow and link accounting.
+	for _, sf := range conn.Subflows() {
+		r := SubflowReport{Path: int(sf.Spec.Tag), Label: sf.Spec.Label}
+		if sf.TCP != nil {
+			st := sf.TCP.Stats
+			r.SentSegments = st.SentSegments
+			r.Retransmits = st.Retransmits
+			r.RTOs = st.RTOs
+			r.FastRecoveries = st.FastRecovery
+			r.SRTT = sf.TCP.SRTT()
+			r.FinalCwndBytes = int(sf.TCP.CwndBytes())
+		}
+		res.Subflows = append(res.Subflows, r)
+	}
+	res.Drops = make(map[string]uint64)
+	res.Utilisation = make(map[string]float64)
+	for _, l := range net.Links() {
+		var d uint64
+		for _, v := range l.Counters.Drops {
+			d += v
+		}
+		if d > 0 {
+			res.Drops[l.Name()] += d
+		}
+		if u := l.Utilisation(); u >= 0.05 {
+			res.Utilisation[l.Name()] = u
+		}
+	}
+	res.Packets = sniff.Packets()
+	for _, rc := range acc.Conns() {
+		res.DeliveredBytes += rc.Delivered
+		res.DuplicateBytes += rc.DupBytes
+	}
+	if fixed != nil {
+		res.TransferComplete = fixed.Done() && res.DeliveredBytes >= uint64(opts.TransferBytes)
+	}
+	if opts.RetainPackets {
+		res.records = sniff.Records()
+	}
+	return res, nil
+}

@@ -1,0 +1,185 @@
+// Package capture is the simulator's tshark: it attaches to the engine's
+// tap points, records packets, filters them by tag (exactly how the paper
+// determines the per-subflow split at the receiver), and bins bytes into
+// fixed intervals to produce throughput time series at 10 or 100 ms
+// resolution. Captures can also be exported to standard pcap files.
+package capture
+
+import (
+	"time"
+
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/packet"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/topo"
+	"mptcpsim/internal/trace"
+	"mptcpsim/internal/unit"
+)
+
+// Record is one captured packet.
+type Record struct {
+	At   sim.Time
+	Size unit.ByteSize
+	Tag  packet.Tag
+	UID  uint64
+	// Data holds the marshalled packet when the sniffer retains frames
+	// for pcap export.
+	Data []byte
+}
+
+// Sniffer observes packets delivered to one node (receiver-side capture,
+// like running tshark on the destination host) and accumulates per-tag
+// byte counts in fixed bins.
+type Sniffer struct {
+	loop *sim.Loop
+	node topo.NodeID
+	step time.Duration
+
+	// DataOnly restricts counting to payload-carrying packets (the
+	// paper's rate plots track the data stream, not ACKs).
+	DataOnly bool
+	// Retain keeps marshalled frames for pcap export.
+	Retain bool
+	// CountWire counts full wire size; when false, only payload bytes
+	// (goodput). The paper measures wire throughput at the receiver.
+	CountWire bool
+
+	bins    map[packet.Tag][]float64
+	records []Record
+	total   uint64
+}
+
+var _ netem.Tap = (*Sniffer)(nil)
+
+// NewSniffer captures packets delivered at node, binned at step.
+func NewSniffer(n *netem.Network, node topo.NodeID, step time.Duration) *Sniffer {
+	s := &Sniffer{
+		loop:      n.Loop,
+		node:      node,
+		step:      step,
+		CountWire: true,
+		bins:      make(map[packet.Tag][]float64),
+	}
+	n.AttachTap(s)
+	return s
+}
+
+// OnDeliver implements netem.Tap.
+func (s *Sniffer) OnDeliver(nd *netem.Node, pkt *packet.Packet) {
+	if nd.ID != s.node {
+		return
+	}
+	if s.DataOnly && pkt.PayloadLen == 0 {
+		return
+	}
+	size := pkt.Size()
+	if !s.CountWire {
+		size = unit.ByteSize(pkt.PayloadLen)
+	}
+	s.count(pkt.Tag(), size)
+	s.total++
+	if s.Retain {
+		s.records = append(s.records, Record{
+			At: s.loop.Now(), Size: size, Tag: pkt.Tag(), UID: pkt.UID,
+			Data: pkt.Marshal(),
+		})
+	}
+}
+
+// OnTransmit implements netem.Tap (receiver capture ignores it).
+func (s *Sniffer) OnTransmit(*netem.Link, *packet.Packet) {}
+
+// OnDrop implements netem.Tap (receiver capture ignores it).
+func (s *Sniffer) OnDrop(string, *packet.Packet, netem.DropReason) {}
+
+func (s *Sniffer) count(tag packet.Tag, size unit.ByteSize) {
+	idx := int(s.loop.Now().Duration() / s.step)
+	b := s.bins[tag]
+	for len(b) <= idx {
+		b = append(b, 0)
+	}
+	b[idx] += float64(size)
+	s.bins[tag] = b
+}
+
+// Packets returns the number of packets counted.
+func (s *Sniffer) Packets() uint64 { return s.total }
+
+// Records returns retained frames (Retain must have been set).
+func (s *Sniffer) Records() []Record { return s.records }
+
+// Series converts a tag's binned byte counts to a throughput series in
+// Mbps, padded to the run length.
+func (s *Sniffer) Series(tag packet.Tag, name string, until time.Duration) *trace.Series {
+	nBins := int(until / s.step)
+	out := &trace.Series{Name: name, Step: s.step, V: make([]float64, nBins)}
+	b := s.bins[tag]
+	scale := 8 / s.step.Seconds() / 1e6 // bytes/bin -> Mbps
+	for i := 0; i < nBins && i < len(b); i++ {
+		out.V[i] = b[i] * scale
+	}
+	return out
+}
+
+// Tags returns the tags observed, in ascending order.
+func (s *Sniffer) Tags() []packet.Tag {
+	var tags []packet.Tag
+	for t := range s.bins {
+		tags = append(tags, t)
+	}
+	for i := 0; i < len(tags); i++ {
+		for j := i + 1; j < len(tags); j++ {
+			if tags[j] < tags[i] {
+				tags[i], tags[j] = tags[j], tags[i]
+			}
+		}
+	}
+	return tags
+}
+
+// LinkSniffer counts bytes crossing one directed link (wire utilisation
+// measurement), binned like the receiver sniffer.
+type LinkSniffer struct {
+	loop *sim.Loop
+	link topo.LinkID
+	step time.Duration
+	bins []float64
+}
+
+var _ netem.Tap = (*LinkSniffer)(nil)
+
+// NewLinkSniffer captures transmissions on the given link.
+func NewLinkSniffer(n *netem.Network, link topo.LinkID, step time.Duration) *LinkSniffer {
+	s := &LinkSniffer{loop: n.Loop, link: link, step: step}
+	n.AttachTap(s)
+	return s
+}
+
+// OnTransmit implements netem.Tap.
+func (s *LinkSniffer) OnTransmit(l *netem.Link, pkt *packet.Packet) {
+	if l.Spec.ID != s.link {
+		return
+	}
+	idx := int(s.loop.Now().Duration() / s.step)
+	for len(s.bins) <= idx {
+		s.bins = append(s.bins, 0)
+	}
+	s.bins[idx] += float64(pkt.Size())
+}
+
+// OnDeliver implements netem.Tap.
+func (s *LinkSniffer) OnDeliver(*netem.Node, *packet.Packet) {}
+
+// OnDrop implements netem.Tap.
+func (s *LinkSniffer) OnDrop(string, *packet.Packet, netem.DropReason) {}
+
+// Series returns the link's throughput in Mbps.
+func (s *LinkSniffer) Series(name string, until time.Duration) *trace.Series {
+	nBins := int(until / s.step)
+	out := &trace.Series{Name: name, Step: s.step, V: make([]float64, nBins)}
+	scale := 8 / s.step.Seconds() / 1e6
+	for i := 0; i < nBins && i < len(s.bins); i++ {
+		out.V[i] = s.bins[i] * scale
+	}
+	return out
+}

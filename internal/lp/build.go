@@ -1,0 +1,216 @@
+package lp
+
+import (
+	"fmt"
+	"sort"
+
+	"mptcpsim/internal/topo"
+	"mptcpsim/internal/unit"
+)
+
+// MaxThroughput builds the paper's optimisation problem for a set of paths:
+// maximise the sum of per-path rates subject to, for every link crossed by
+// at least one path, the sum of rates over the paths using it not exceeding
+// the link capacity. Rates are expressed in Mbps so the numbers match the
+// paper's figures.
+func MaxThroughput(g *topo.Graph, paths []topo.Path) *Problem {
+	n := len(paths)
+	p := &Problem{C: make([]float64, n)}
+	for i := range p.C {
+		p.C[i] = 1
+		p.VarNames = append(p.VarNames, fmt.Sprintf("x%d", i+1))
+	}
+	users := topo.PathsByLink(paths)
+	// Deterministic row order: by link ID.
+	lids := make([]topo.LinkID, 0, len(users))
+	for lid := range users {
+		lids = append(lids, lid)
+	}
+	sort.Slice(lids, func(a, b int) bool { return lids[a] < lids[b] })
+	for _, lid := range lids {
+		row := make([]float64, n)
+		for _, pi := range users[lid] {
+			row[pi] = 1
+		}
+		l := g.Link(lid)
+		p.A = append(p.A, row)
+		p.B = append(p.B, l.Rate.Mbit())
+		p.RowNames = append(p.RowNames, fmt.Sprintf("%s-%s cap %s",
+			g.Node(l.From).Name, g.Node(l.To).Name, l.Rate))
+	}
+	return p
+}
+
+// BindingConstraints returns the indices of constraints tight at x (within
+// tol), i.e. the links that are actual bottlenecks at that operating point.
+func (p *Problem) BindingConstraints(x []float64, tol float64) []int {
+	var out []int
+	for i, row := range p.A {
+		var lhs float64
+		for j, a := range row {
+			lhs += a * x[j]
+		}
+		if lhs >= p.B[i]-tol {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// GreedySequential computes the allocation the paper describes as the
+// greedy/Pareto trap: paths claim capacity one at a time in the given
+// order, each taking the maximum its residual bottleneck allows. Order is
+// a permutation of path indices (the default subflow first).
+func GreedySequential(g *topo.Graph, paths []topo.Path, order []int) []float64 {
+	resid := make(map[topo.LinkID]float64)
+	for _, l := range g.Links() {
+		resid[l.ID] = l.Rate.Mbit()
+	}
+	x := make([]float64, len(paths))
+	for _, pi := range order {
+		m := 1e18
+		for _, lid := range paths[pi].Links {
+			if resid[lid] < m {
+				m = resid[lid]
+			}
+		}
+		if m < 0 {
+			m = 0
+		}
+		x[pi] = m
+		for _, lid := range paths[pi].Links {
+			resid[lid] -= m
+		}
+	}
+	return x
+}
+
+// MaxMin computes the max-min fair allocation over the paths by
+// progressive filling: all unfrozen path rates rise together until some
+// link saturates; paths crossing saturated links freeze; repeat.
+func MaxMin(g *topo.Graph, paths []topo.Path) []float64 {
+	n := len(paths)
+	x := make([]float64, n)
+	frozen := make([]bool, n)
+	users := topo.PathsByLink(paths)
+	resid := make(map[topo.LinkID]float64)
+	for lid := range users {
+		resid[lid] = g.Link(lid).Rate.Mbit()
+	}
+	for {
+		// Count active users per link.
+		active := 0
+		for i := 0; i < n; i++ {
+			if !frozen[i] {
+				active++
+			}
+		}
+		if active == 0 {
+			return x
+		}
+		// Smallest equal increment any link allows.
+		inc := 1e18
+		for lid, us := range users {
+			k := 0
+			for _, pi := range us {
+				if !frozen[pi] {
+					k++
+				}
+			}
+			if k == 0 {
+				continue
+			}
+			if v := resid[lid] / float64(k); v < inc {
+				inc = v
+			}
+		}
+		if inc >= 1e18 || inc < 0 {
+			return x
+		}
+		// Apply the increment and freeze users of saturated links.
+		for lid, us := range users {
+			k := 0
+			for _, pi := range us {
+				if !frozen[pi] {
+					k++
+				}
+			}
+			resid[lid] -= inc * float64(k)
+		}
+		for i := 0; i < n; i++ {
+			if !frozen[i] {
+				x[i] += inc
+			}
+		}
+		for lid, us := range users {
+			if resid[lid] <= 1e-9 {
+				for _, pi := range us {
+					frozen[pi] = true
+				}
+			}
+		}
+	}
+}
+
+// PropFair computes the proportionally fair allocation (maximiser of the
+// sum of log rates) by dual gradient descent on the link prices. It is the
+// equilibrium an idealised fluid model of coupled AIMD flows with equal
+// RTTs approaches, a useful reference for where LIA-style coupling lands.
+func PropFair(g *topo.Graph, paths []topo.Path, iters int) []float64 {
+	if iters <= 0 {
+		iters = 200000
+	}
+	users := topo.PathsByLink(paths)
+	price := make(map[topo.LinkID]float64, len(users))
+	cap := make(map[topo.LinkID]float64, len(users))
+	for lid := range users {
+		cap[lid] = g.Link(lid).Rate.Mbit()
+		price[lid] = 1 / cap[lid]
+	}
+	n := len(paths)
+	x := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		// Primal: x_i = 1 / (sum of prices along the path).
+		for i, p := range paths {
+			var sum float64
+			for _, lid := range p.Links {
+				sum += price[lid]
+			}
+			if sum <= 0 {
+				sum = 1e-12
+			}
+			x[i] = 1 / sum
+		}
+		// Dual: price goes up where demand exceeds capacity.
+		step := 1e-4
+		for lid, us := range users {
+			var load float64
+			for _, pi := range us {
+				load += x[pi]
+			}
+			price[lid] += step * (load - cap[lid]) / cap[lid]
+			if price[lid] < 1e-9 {
+				price[lid] = 1e-9
+			}
+		}
+	}
+	return x
+}
+
+// TotalMbit sums an allocation.
+func TotalMbit(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Rates converts an allocation in Mbps to unit.Rate values.
+func Rates(x []float64) []unit.Rate {
+	out := make([]unit.Rate, len(x))
+	for i, v := range x {
+		out[i] = unit.Rate(v * float64(unit.Mbps))
+	}
+	return out
+}

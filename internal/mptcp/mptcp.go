@@ -1,0 +1,263 @@
+// Package mptcp implements the Multipath TCP connection layer on top of
+// the tcp engine: one connection striped across several TCP subflows, each
+// pinned to its own network path by a forwarding tag — the paper's
+// modified-ndiffports path manager ("the exact tags and the number of
+// subflows is given as an argument").
+//
+// The layer provides the 64-bit data sequence space and DSS mappings of
+// RFC 6824, connection-level reassembly at the receiver, pluggable segment
+// schedulers (min-RTT default, round-robin, redundant), and coupled
+// congestion control: all subflows of a connection share one cc.Algorithm
+// instance, so LIA/OLIA/BALIA observe and balance the whole window vector,
+// while CUBIC/Reno run independently per subflow ("uncoupled").
+package mptcp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mptcpsim/internal/cc"
+	"mptcpsim/internal/packet"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/tcp"
+)
+
+// SubflowSpec describes one subflow of a connection: its forwarding tag
+// (the preselected path) and a label for stats and figures.
+type SubflowSpec struct {
+	// Tag pins the subflow to a path.
+	Tag packet.Tag
+	// Label names the subflow in output ("Path 1").
+	Label string
+	// StartDelay postpones this subflow's handshake relative to the
+	// connection start (the first subflow is the "default" path and should
+	// usually start at zero).
+	StartDelay time.Duration
+}
+
+// Config parameterises an MPTCP connection.
+type Config struct {
+	// Algorithm is the congestion-control name (cc registry): "cubic",
+	// "reno", "lia", "olia", "balia".
+	Algorithm string
+	// Scheduler selects the segment scheduler: "minrtt" (default),
+	// "roundrobin", "redundant".
+	Scheduler string
+	// Subflows lists the paths; the first entry is the default subflow.
+	Subflows []SubflowSpec
+	// TCP carries per-subflow TCP overrides (MSS, buffers, delayed-ACK).
+	// CC/Tag/Source/Sink fields are managed by this package.
+	TCP tcp.Config
+	// Source supplies application data; nil means infinite bulk (iperf).
+	Source DataSource
+}
+
+// DataSource supplies connection-level data, pull-model like tcp.Source
+// but at the data (DSN) level.
+type DataSource interface {
+	// NextData returns how many bytes are available to send now, up to
+	// max. Returning 0 idles the sender until Conn.Kick.
+	NextData(max int) int
+}
+
+// bulkData is the infinite iperf-style source.
+type bulkData struct{}
+
+func (bulkData) NextData(max int) int { return max }
+
+// Subflow is one TCP subflow of a connection.
+type Subflow struct {
+	// Spec is the subflow's path specification.
+	Spec SubflowSpec
+	// TCP is the underlying TCP connection (nil until started).
+	TCP *tcp.Conn
+	// Index is the subflow's position in the configuration.
+	Index int
+
+	conn *Conn
+	// assigned counts DSN bytes mapped onto this subflow (sender side).
+	assigned uint64
+	// redundantCursor is this subflow's private DSN cursor under the
+	// redundant scheduler.
+	redundantCursor uint64
+}
+
+// SRTT returns the subflow's smoothed RTT (0 before establishment).
+func (sf *Subflow) SRTT() time.Duration {
+	if sf.TCP == nil {
+		return 0
+	}
+	return sf.TCP.SRTT()
+}
+
+// Conn is the sender side of an MPTCP connection.
+type Conn struct {
+	loop *sim.Loop
+	host *tcp.Host
+	cfg  Config
+
+	// Key is the MP_CAPABLE key; Token identifies the connection on joins.
+	Key   uint64
+	Token uint32
+
+	algo     cc.Algorithm
+	sched    Scheduler
+	source   DataSource
+	subflows []*Subflow
+
+	// dsnNext is the next unassigned data sequence number.
+	dsnNext uint64
+}
+
+// Dial opens an MPTCP connection from host to raddr:rport, starting one
+// TCP subflow per SubflowSpec. The first subflow carries MP_CAPABLE, the
+// rest MP_JOIN with the connection token.
+func Dial(h *tcp.Host, rng *sim.Rand, cfg Config, raddr packet.Addr, rport packet.Port) (*Conn, error) {
+	if len(cfg.Subflows) == 0 {
+		return nil, fmt.Errorf("mptcp: no subflows configured")
+	}
+	algo, err := cc.New(cfg.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := NewScheduler(cfg.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	src := cfg.Source
+	if src == nil {
+		src = bulkData{}
+	}
+	key := rng.Uint64()
+	c := &Conn{
+		loop:   h.Loop(),
+		host:   h,
+		cfg:    cfg,
+		Key:    key,
+		Token:  TokenFromKey(key),
+		algo:   algo,
+		sched:  sched,
+		source: src,
+	}
+	for i, spec := range cfg.Subflows {
+		sf := &Subflow{Spec: spec, Index: i, conn: c}
+		c.subflows = append(c.subflows, sf)
+		start := func() {
+			tcfg := cfg.TCP
+			tcfg.Tag = spec.Tag
+			tcfg.CC = algo
+			tcfg.Source = &sfSource{sf: sf}
+			tcfg.Sink = nopSink{}
+			tcfg.FlowID = spec.Label
+			if i == 0 {
+				tcfg.SynOptions = []packet.Option{&packet.MPCapable{Key: key}}
+			} else {
+				tcfg.SynOptions = []packet.Option{&packet.MPJoin{Token: c.Token, AddrID: uint8(i)}}
+			}
+			conn, err := h.Dial(tcfg, raddr, rport)
+			if err != nil {
+				return // port exhaustion cannot happen in practice
+			}
+			sf.TCP = conn
+		}
+		if spec.StartDelay > 0 {
+			c.loop.Schedule(spec.StartDelay, start)
+		} else {
+			start()
+		}
+	}
+	return c, nil
+}
+
+// Subflows returns the connection's subflows in configuration order.
+func (c *Conn) Subflows() []*Subflow { return c.subflows }
+
+// Scheduler returns the active scheduler.
+func (c *Conn) Scheduler() Scheduler { return c.sched }
+
+// Algorithm returns the shared congestion-control instance.
+func (c *Conn) Algorithm() cc.Algorithm { return c.algo }
+
+// AssignedBytes returns the total data bytes mapped to subflows so far.
+func (c *Conn) AssignedBytes() uint64 { return c.dsnNext }
+
+// Kick wakes all subflows after the DataSource gains data, in scheduler
+// preference order so limited data lands on preferred paths first.
+func (c *Conn) Kick() {
+	order := c.sched.PickOrder(c.subflows)
+	for _, sf := range order {
+		if sf.TCP != nil {
+			sf.TCP.Kick()
+		}
+	}
+}
+
+// Close closes every subflow.
+func (c *Conn) Close() {
+	for _, sf := range c.subflows {
+		if sf.TCP != nil {
+			sf.TCP.Close()
+		}
+	}
+}
+
+// sfSource adapts the connection's data stream to one subflow's tcp.Source.
+type sfSource struct {
+	sf *Subflow
+}
+
+// Next implements tcp.Source: it consults the scheduler for an allotment
+// and assigns the next DSN range to this subflow.
+func (s *sfSource) Next(max int) (int, *packet.DSS) {
+	c := s.sf.conn
+	if red, ok := c.sched.(*Redundant); ok {
+		return red.nextFor(s.sf, max)
+	}
+	n := c.sched.Grant(s.sf, max)
+	if n <= 0 {
+		return 0, nil
+	}
+	n = c.source.NextData(n)
+	if n <= 0 {
+		return 0, nil
+	}
+	dss := &packet.DSS{HasMap: true, DSN: c.dsnNext, DataLen: uint16(n)}
+	c.dsnNext += uint64(n)
+	s.sf.assigned += uint64(n)
+	return n, dss
+}
+
+// nopSink ignores reverse-direction data on sender-side subflows (the
+// experiments are one-way) and advertises no data-level ACK.
+type nopSink struct{}
+
+func (nopSink) OnData(int, *packet.DSS) {}
+func (nopSink) DataAck() (uint64, bool) { return 0, false }
+
+// TokenFromKey derives the connection token advertised in MP_JOIN from the
+// MP_CAPABLE key (RFC 6824 uses a SHA-1 truncation; a mix suffices here).
+func TokenFromKey(key uint64) uint32 {
+	key ^= key >> 33
+	key *= 0xff51afd7ed558ccd
+	key ^= key >> 33
+	return uint32(key)
+}
+
+// sortByRTT orders subflows by ascending smoothed RTT, established flows
+// first (the min-RTT scheduler's preference order).
+func sortByRTT(sfs []*Subflow) []*Subflow {
+	out := append([]*Subflow(nil), sfs...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		ar, br := a.SRTT(), b.SRTT()
+		if ar == 0 {
+			return false
+		}
+		if br == 0 {
+			return true
+		}
+		return ar < br
+	})
+	return out
+}

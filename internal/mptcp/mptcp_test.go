@@ -1,0 +1,418 @@
+package mptcp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/packet"
+	"mptcpsim/internal/route"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/tcp"
+	"mptcpsim/internal/topo"
+	"mptcpsim/internal/unit"
+)
+
+// paperRig wires the full paper network with an MPTCP sender at s and an
+// acceptor at d.
+type paperRig struct {
+	loop   *sim.Loop
+	net    *netem.Network
+	pn     *topo.PaperNet
+	sender *tcp.Host
+	recvr  *tcp.Host
+	acc    *Acceptor
+	dials  int
+}
+
+func newPaperRig(t *testing.T, seed int64) *paperRig {
+	t.Helper()
+	pn := topo.Paper()
+	loop := sim.NewLoop()
+	tt := route.NewTagTable(pn.Graph)
+	n, err := netem.New(loop, pn.Graph, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := tcp.NewHost(n, pn.S, sim.NewRand(seed))
+	dh := tcp.NewHost(n, pn.D, sim.NewRand(seed+1))
+	for i, p := range pn.Paths {
+		tag := packet.Tag(i + 1)
+		if err := tt.AddPath(dh.Addr, tag, p); err != nil {
+			t.Fatal(err)
+		}
+		rev, err := topo.ReversePath(pn.Graph, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tt.AddPath(sh.Addr, tag, rev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acc := &Acceptor{}
+	if err := Listen(dh, 5001, tcp.Config{}, acc); err != nil {
+		t.Fatal(err)
+	}
+	return &paperRig{loop: loop, net: n, pn: pn, sender: sh, recvr: dh, acc: acc}
+}
+
+// paperSubflows returns the three-path subflow set with Path 2 default.
+func paperSubflows() []SubflowSpec {
+	return []SubflowSpec{
+		{Tag: 2, Label: "Path 2"},
+		{Tag: 1, Label: "Path 1", StartDelay: time.Millisecond},
+		{Tag: 3, Label: "Path 3", StartDelay: 2 * time.Millisecond},
+	}
+}
+
+func (r *paperRig) dial(t *testing.T, cfg Config) *Conn {
+	t.Helper()
+	// Each connection gets a distinct key stream, like distinct processes.
+	r.dials++
+	c, err := Dial(r.sender, sim.NewRand(99+int64(r.dials)), cfg, r.recvr.Addr, 5001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func (r *paperRig) recvConn(t *testing.T) *RecvConn {
+	t.Helper()
+	for _, rc := range r.acc.Conns() {
+		return rc
+	}
+	t.Fatal("no connection accepted")
+	return nil
+}
+
+func TestTokenFromKeyDeterministic(t *testing.T) {
+	if TokenFromKey(42) != TokenFromKey(42) {
+		t.Fatal("token not deterministic")
+	}
+	if TokenFromKey(1) == TokenFromKey(2) {
+		t.Fatal("token collision on trivial keys")
+	}
+}
+
+func TestSubflowsEstablishWithJoinOptions(t *testing.T) {
+	r := newPaperRig(t, 7)
+	c := r.dial(t, Config{Algorithm: "cubic", Subflows: paperSubflows()})
+	if err := r.loop.RunFor(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for i, sf := range c.Subflows() {
+		if sf.TCP == nil || sf.TCP.State() != tcp.StateEstablished {
+			t.Fatalf("subflow %d not established", i)
+		}
+	}
+	rc := r.recvConn(t)
+	if rc.SubflowCount() != 3 {
+		t.Fatalf("receiver saw %d subflows, want 3", rc.SubflowCount())
+	}
+	// All subflows of one connection share the token.
+	if len(r.acc.Conns()) != 1 {
+		t.Fatalf("%d connections accepted, want 1", len(r.acc.Conns()))
+	}
+}
+
+func TestBulkTransferAggregatesPaths(t *testing.T) {
+	r := newPaperRig(t, 11)
+	c := r.dial(t, Config{Algorithm: "cubic", Subflows: paperSubflows()})
+	const dur = 3 * time.Second
+	if err := r.loop.RunFor(dur); err != nil {
+		t.Fatal(err)
+	}
+	rc := r.recvConn(t)
+	mbps := float64(rc.Delivered) * 8 / dur.Seconds() / 1e6
+	// Any single path is capped at 40 (Path 1 and 2) or 60 (Path 3); an
+	// aggregate beyond 60 proves multi-path striping works.
+	if mbps < 60 {
+		t.Fatalf("aggregate goodput = %.1f Mbps, want > 60 (single-path cap)", mbps)
+	}
+	// The data stream must be delivered without data-level holes.
+	if rc.Delivered != rc.DataAck() {
+		t.Fatalf("delivered %d != dataack %d", rc.Delivered, rc.DataAck())
+	}
+	for i, sf := range c.Subflows() {
+		if sf.assigned == 0 {
+			t.Fatalf("subflow %d carried no data", i)
+		}
+	}
+}
+
+func TestLimitedSourceCompletesExactly(t *testing.T) {
+	r := newPaperRig(t, 13)
+	src := &fixedData{remaining: 2 * 1024 * 1024}
+	r.dial(t, Config{Algorithm: "lia", Subflows: paperSubflows(), Source: src})
+	if err := r.loop.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rc := r.recvConn(t)
+	if rc.Delivered != 2*1024*1024 {
+		t.Fatalf("delivered %d, want %d", rc.Delivered, 2*1024*1024)
+	}
+	if rc.DupBytes != 0 {
+		t.Fatalf("dup bytes = %d, want 0 without redundant scheduler", rc.DupBytes)
+	}
+}
+
+type fixedData struct{ remaining int }
+
+func (f *fixedData) NextData(max int) int {
+	if f.remaining <= 0 {
+		return 0
+	}
+	n := max
+	if f.remaining < n {
+		n = f.remaining
+	}
+	f.remaining -= n
+	return n
+}
+
+func TestCoupledAlgorithmSharedAcrossSubflows(t *testing.T) {
+	r := newPaperRig(t, 17)
+	c := r.dial(t, Config{Algorithm: "olia", Subflows: paperSubflows()})
+	if err := r.loop.RunFor(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// All subflows registered with one OLIA instance.
+	type flowsLen interface{ Name() string }
+	if c.Algorithm().Name() != "olia" {
+		t.Fatal("algorithm mismatch")
+	}
+	// Windows evolve: each subflow's Flow is distinct but shares coupling.
+	w := map[float64]bool{}
+	for _, sf := range c.Subflows() {
+		w[sf.TCP.CwndBytes()] = true
+		if sf.TCP.CwndBytes() <= 0 {
+			t.Fatal("zero cwnd on established subflow")
+		}
+	}
+	_ = w
+}
+
+func TestRedundantSchedulerDuplicates(t *testing.T) {
+	r := newPaperRig(t, 19)
+	src := &fixedData{remaining: 256 * 1024}
+	r.dial(t, Config{Algorithm: "cubic", Scheduler: "redundant",
+		Subflows: paperSubflows(), Source: src})
+	if err := r.loop.RunFor(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rc := r.recvConn(t)
+	if rc.Delivered != 256*1024 {
+		t.Fatalf("delivered %d, want exactly %d (deduplicated)", rc.Delivered, 256*1024)
+	}
+	if rc.DupBytes == 0 {
+		t.Fatal("redundant scheduler produced no duplicates?")
+	}
+}
+
+func TestSchedulerRegistry(t *testing.T) {
+	for _, name := range []string{"", "minrtt", "roundrobin", "rr", "redundant"} {
+		if _, err := NewScheduler(name); err != nil {
+			t.Fatalf("NewScheduler(%q): %v", name, err)
+		}
+	}
+	if _, err := NewScheduler("blast"); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	if _, err := Dial(nil, nil, Config{}, 0, 0); err == nil {
+		t.Fatal("Dial with no subflows accepted")
+	}
+}
+
+func TestMinRTTPickOrder(t *testing.T) {
+	r := newPaperRig(t, 23)
+	c := r.dial(t, Config{Algorithm: "cubic", Subflows: paperSubflows()})
+	if err := r.loop.RunFor(300 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	order := c.Scheduler().PickOrder(c.Subflows())
+	// Path 2 (one-way 4 ms) must come first.
+	if order[0].Spec.Label != "Path 2" {
+		got := []string{}
+		for _, sf := range order {
+			got = append(got, sf.Spec.Label)
+		}
+		t.Fatalf("PickOrder = %v, want Path 2 first", got)
+	}
+}
+
+// Property: the data-level reassembly delivers every byte exactly once for
+// arbitrary interleavings and duplications of chunks.
+func TestQuickReassemblyExactlyOnce(t *testing.T) {
+	f := func(seed int64, nChunks uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rc := &RecvConn{}
+		n := int(nChunks%40) + 1
+		// Build a contiguous stream of chunks, then shuffle with repeats.
+		type ch struct {
+			dsn uint64
+			n   int
+		}
+		var chunks []ch
+		var dsn uint64
+		for i := 0; i < n; i++ {
+			sz := 1 + rng.Intn(3000)
+			chunks = append(chunks, ch{dsn, sz})
+			dsn += uint64(sz)
+		}
+		seq := append([]ch(nil), chunks...)
+		// Duplicate a random subset.
+		for i := 0; i < n/2; i++ {
+			seq = append(seq, chunks[rng.Intn(len(chunks))])
+		}
+		rng.Shuffle(len(seq), func(i, j int) { seq[i], seq[j] = seq[j], seq[i] })
+		for _, c := range seq {
+			rc.push(c.n, &packet.DSS{HasMap: true, DSN: c.dsn, DataLen: uint16(c.n)})
+		}
+		return rc.Delivered == dsn && rc.DataAck() == dsn && len(rc.ooo) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataAckAdvertisedToSender(t *testing.T) {
+	r := newPaperRig(t, 29)
+	src := &fixedData{remaining: 64 * 1024}
+	r.dial(t, Config{Algorithm: "reno", Subflows: paperSubflows(), Source: src})
+	if err := r.loop.RunFor(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rc := r.recvConn(t)
+	if rc.DataAck() != 64*1024 {
+		t.Fatalf("final data ack = %d, want %d", rc.DataAck(), 64*1024)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() uint64 {
+		r := newPaperRig(t, 31)
+		r.dial(t, Config{Algorithm: "cubic", Subflows: paperSubflows()})
+		if err := r.loop.RunFor(time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return r.recvConn(t).Delivered
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("runs differ: %d vs %d", a, b)
+	}
+}
+
+func TestSingleSubflowBehavesLikeTCP(t *testing.T) {
+	r := newPaperRig(t, 37)
+	c := r.dial(t, Config{Algorithm: "lia",
+		Subflows: []SubflowSpec{{Tag: 2, Label: "Path 2"}}})
+	if err := r.loop.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rc := r.recvConn(t)
+	mbps := float64(rc.Delivered) * 8 / 2 / 1e6
+	// Path 2's bottleneck is 40 Mbps; a lone LIA subflow is plain NewReno
+	// and should utilise most of it.
+	if mbps < 30 || mbps > 40 {
+		t.Fatalf("single-subflow goodput = %.1f Mbps, want ~35-38", mbps)
+	}
+	if got := c.Subflows()[0].assigned; got != c.AssignedBytes() {
+		t.Fatalf("assigned accounting inconsistent: %d vs %d", got, c.AssignedBytes())
+	}
+}
+
+func TestUnit(t *testing.T) {
+	// Guard against accidental unit drift in helpers used above.
+	if unit.Mbps != 1000*1000 {
+		t.Fatal("unit definitions changed")
+	}
+}
+
+func TestMinRTTPrefersFastPathForScarceData(t *testing.T) {
+	// Trickle data: the min-RTT scheduler wakes the fastest subflow first,
+	// so the scarce bytes should ride Path 2 predominantly.
+	r := newPaperRig(t, 41)
+	src := &trickle{chunk: 8 * 1400}
+	c := r.dial(t, Config{Algorithm: "cubic", Subflows: paperSubflows(), Source: src})
+	var tick func()
+	tick = func() {
+		src.avail = src.chunk
+		c.Kick()
+		r.loop.Schedule(20*time.Millisecond, tick)
+	}
+	r.loop.Schedule(100*time.Millisecond, tick) // after handshakes
+	if err := r.loop.RunFor(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var byLabel [3]uint64
+	for _, sf := range c.Subflows() {
+		byLabel[sf.Index] = sf.assigned
+	}
+	// Subflow 0 is Path 2 (default, lowest RTT): it should carry the bulk.
+	if byLabel[0] < byLabel[1] || byLabel[0] < byLabel[2] {
+		t.Fatalf("scarce data split %v: default/fast path should dominate", byLabel)
+	}
+}
+
+// trickle releases `avail` bytes when kicked, then runs dry.
+type trickle struct {
+	chunk int
+	avail int
+}
+
+func (s *trickle) NextData(max int) int {
+	n := max
+	if s.avail < n {
+		n = s.avail
+	}
+	s.avail -= n
+	return n
+}
+
+func TestRoundRobinRotates(t *testing.T) {
+	r := newPaperRig(t, 43)
+	src := &trickle{chunk: 1400}
+	c := r.dial(t, Config{Algorithm: "cubic", Scheduler: "rr",
+		Subflows: paperSubflows(), Source: src})
+	var tick func()
+	tick = func() {
+		src.avail = 1400
+		c.Kick()
+		r.loop.Schedule(10*time.Millisecond, tick)
+	}
+	r.loop.Schedule(100*time.Millisecond, tick)
+	if err := r.loop.RunFor(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Every subflow must have carried a meaningful share.
+	for _, sf := range c.Subflows() {
+		if sf.assigned < 20*1400 {
+			t.Fatalf("round robin starved %s (%d bytes)", sf.Spec.Label, sf.assigned)
+		}
+	}
+}
+
+func TestAcceptorSeparatesConnections(t *testing.T) {
+	r := newPaperRig(t, 47)
+	c1 := r.dial(t, Config{Algorithm: "cubic", Subflows: paperSubflows()})
+	c2 := r.dial(t, Config{Algorithm: "lia", Subflows: paperSubflows()})
+	if err := r.loop.RunFor(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.acc.Conns()) != 2 {
+		t.Fatalf("acceptor tracked %d connections, want 2", len(r.acc.Conns()))
+	}
+	if c1.Token == c2.Token {
+		t.Fatal("token collision between connections")
+	}
+	for tok, rc := range r.acc.Conns() {
+		if rc.SubflowCount() != 3 {
+			t.Fatalf("connection %d attached %d subflows, want 3", tok, rc.SubflowCount())
+		}
+		if rc.Delivered == 0 {
+			t.Fatalf("connection %d delivered nothing", tok)
+		}
+	}
+}

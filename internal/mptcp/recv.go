@@ -1,0 +1,168 @@
+package mptcp
+
+import (
+	"sort"
+
+	"mptcpsim/internal/packet"
+	"mptcpsim/internal/tcp"
+)
+
+// RecvConn is the receiver side of an MPTCP connection: it reassembles the
+// 64-bit data sequence space from the subflows' in-order byte streams and
+// exposes connection-level goodput.
+type RecvConn struct {
+	// Token identifies the connection (from the initiator's key).
+	Token uint32
+
+	dsnExpected uint64
+	// ooo holds out-of-order data-level chunks sorted by DSN.
+	ooo []dchunk
+	// Delivered counts in-order data bytes handed to the application.
+	Delivered uint64
+	// DupBytes counts bytes discarded as data-level duplicates (redundant
+	// scheduler overlap).
+	DupBytes uint64
+	// OnDeliver, when set, observes each in-order data-level delivery.
+	OnDeliver func(n int)
+
+	subflows int
+}
+
+type dchunk struct {
+	dsn uint64
+	n   int
+}
+
+// SubflowCount returns how many subflows have attached.
+func (rc *RecvConn) SubflowCount() int { return rc.subflows }
+
+// DataAck returns the connection-level cumulative acknowledgement.
+func (rc *RecvConn) DataAck() uint64 { return rc.dsnExpected }
+
+// push consumes one in-order subflow segment carrying a DSS mapping.
+func (rc *RecvConn) push(n int, dss *packet.DSS) {
+	if dss == nil || !dss.HasMap {
+		// Plain segment without a mapping (should not happen from our
+		// sender); count it as delivered payload.
+		rc.Delivered += uint64(n)
+		if rc.OnDeliver != nil {
+			rc.OnDeliver(n)
+		}
+		return
+	}
+	rc.insert(dss.DSN, n)
+	rc.drain()
+}
+
+// insert adds a chunk, trimming overlap with already-delivered data.
+func (rc *RecvConn) insert(dsn uint64, n int) {
+	end := dsn + uint64(n)
+	if end <= rc.dsnExpected {
+		rc.DupBytes += uint64(n)
+		return
+	}
+	if dsn < rc.dsnExpected {
+		rc.DupBytes += rc.dsnExpected - dsn
+		n = int(end - rc.dsnExpected)
+		dsn = rc.dsnExpected
+	}
+	i := sort.Search(len(rc.ooo), func(i int) bool { return rc.ooo[i].dsn >= dsn })
+	if i < len(rc.ooo) && rc.ooo[i].dsn == dsn {
+		if rc.ooo[i].n >= n {
+			rc.DupBytes += uint64(n)
+			return // fully duplicate
+		}
+		rc.DupBytes += uint64(rc.ooo[i].n)
+		rc.ooo[i].n = n
+		return
+	}
+	rc.ooo = append(rc.ooo, dchunk{})
+	copy(rc.ooo[i+1:], rc.ooo[i:])
+	rc.ooo[i] = dchunk{dsn: dsn, n: n}
+}
+
+// drain delivers contiguous chunks at dsnExpected.
+func (rc *RecvConn) drain() {
+	for len(rc.ooo) > 0 {
+		c := rc.ooo[0]
+		if c.dsn > rc.dsnExpected {
+			return
+		}
+		rc.ooo = rc.ooo[1:]
+		end := c.dsn + uint64(c.n)
+		if end <= rc.dsnExpected {
+			rc.DupBytes += uint64(c.n)
+			continue
+		}
+		if c.dsn < rc.dsnExpected {
+			rc.DupBytes += rc.dsnExpected - c.dsn
+		}
+		fresh := int(end - rc.dsnExpected)
+		rc.dsnExpected = end
+		rc.Delivered += uint64(fresh)
+		if rc.OnDeliver != nil {
+			rc.OnDeliver(fresh)
+		}
+	}
+}
+
+// sfSink adapts one subflow's tcp.Sink to the connection reassembly.
+type sfSink struct {
+	rc *RecvConn
+}
+
+// OnData implements tcp.Sink.
+func (s *sfSink) OnData(n int, dss *packet.DSS) { s.rc.push(n, dss) }
+
+// DataAck implements tcp.Sink.
+func (s *sfSink) DataAck() (uint64, bool) { return s.rc.DataAck(), true }
+
+// Acceptor listens for MPTCP connections on a host port. Subflows carrying
+// MP_CAPABLE open a new connection; MP_JOIN subflows attach to the
+// connection their token names.
+type Acceptor struct {
+	// OnNewConn is invoked when the first subflow of a connection arrives.
+	OnNewConn func(rc *RecvConn)
+
+	conns map[uint32]*RecvConn
+}
+
+// Listen starts accepting MPTCP connections on h:port with the given
+// per-subflow TCP template (RcvBuf, delayed-ACK configuration).
+func Listen(h *tcp.Host, port packet.Port, tmpl tcp.Config, a *Acceptor) error {
+	a.conns = make(map[uint32]*RecvConn)
+	return h.Listen(port, &tcp.Listener{
+		ConfigFor: func(synOpts []packet.Option, from packet.Endpoint) tcp.Config {
+			rc := a.match(synOpts)
+			cfg := tmpl
+			cfg.Sink = &sfSink{rc: rc}
+			return cfg
+		},
+	})
+}
+
+// match finds or creates the RecvConn for a subflow's SYN options.
+func (a *Acceptor) match(opts []packet.Option) *RecvConn {
+	var token uint32
+	for _, o := range opts {
+		switch v := o.(type) {
+		case *packet.MPCapable:
+			token = TokenFromKey(v.Key)
+		case *packet.MPJoin:
+			token = v.Token
+		}
+	}
+	rc, ok := a.conns[token]
+	if !ok {
+		rc = &RecvConn{Token: token}
+		a.conns[token] = rc
+		if a.OnNewConn != nil {
+			a.OnNewConn(rc)
+		}
+	}
+	rc.subflows++
+	return rc
+}
+
+// Conns returns the accepted connections keyed by token.
+func (a *Acceptor) Conns() map[uint32]*RecvConn { return a.conns }

@@ -1,0 +1,121 @@
+package mptcp
+
+import (
+	"fmt"
+	"strings"
+
+	"mptcpsim/internal/packet"
+)
+
+// Scheduler decides how connection-level data is spread over subflows.
+// With an infinite backlog every subflow fills its own congestion window
+// and the scheduler is only a tie-breaker; with a limited source it
+// determines which paths carry the data.
+type Scheduler interface {
+	// Name returns the registry name.
+	Name() string
+	// Grant returns how many of max bytes the subflow may map right now.
+	Grant(sf *Subflow, max int) int
+	// PickOrder returns the subflows in preference order for waking after
+	// new data arrives.
+	PickOrder(sfs []*Subflow) []*Subflow
+}
+
+// NewScheduler instantiates a scheduler by name ("" selects min-RTT, the
+// Linux MPTCP default the paper's measurements use).
+func NewScheduler(name string) (Scheduler, error) {
+	switch strings.ToLower(name) {
+	case "", "minrtt", "default":
+		return &MinRTT{}, nil
+	case "roundrobin", "rr":
+		return &RoundRobin{}, nil
+	case "redundant":
+		return &Redundant{}, nil
+	default:
+		return nil, fmt.Errorf("mptcp: unknown scheduler %q", name)
+	}
+}
+
+// MinRTT is the default scheduler: every subflow with window space may
+// send, but when data is scarce the lowest-RTT subflow is offered it
+// first (wake order), matching the Linux default scheduler's preference
+// for fast paths.
+type MinRTT struct{}
+
+// Name implements Scheduler.
+func (*MinRTT) Name() string { return "minrtt" }
+
+// Grant implements Scheduler.
+func (*MinRTT) Grant(_ *Subflow, max int) int { return max }
+
+// PickOrder implements Scheduler.
+func (*MinRTT) PickOrder(sfs []*Subflow) []*Subflow { return sortByRTT(sfs) }
+
+// RoundRobin rotates MSS-sized quanta across subflows regardless of RTT.
+type RoundRobin struct {
+	next int
+}
+
+// Name implements Scheduler.
+func (*RoundRobin) Name() string { return "roundrobin" }
+
+// Grant implements Scheduler: a subflow out of turn still gets data (its
+// window is open; refusing would idle the path), but the turn pointer
+// advances so wake order rotates fairly.
+func (r *RoundRobin) Grant(sf *Subflow, max int) int {
+	r.next = (sf.Index + 1) % len(sf.conn.subflows)
+	return max
+}
+
+// PickOrder implements Scheduler.
+func (r *RoundRobin) PickOrder(sfs []*Subflow) []*Subflow {
+	if len(sfs) == 0 {
+		return nil
+	}
+	start := r.next % len(sfs)
+	out := make([]*Subflow, 0, len(sfs))
+	for i := 0; i < len(sfs); i++ {
+		out = append(out, sfs[(start+i)%len(sfs)])
+	}
+	return out
+}
+
+// Redundant maps every data byte onto every subflow (the latency-oriented
+// scheduler of "Low Latency via Redundancy"; cited as [5] in the paper's
+// motivation). The receiver's overlap-tolerant reassembly deduplicates.
+type Redundant struct{}
+
+// Name implements Scheduler.
+func (*Redundant) Name() string { return "redundant" }
+
+// Grant implements Scheduler (unused: nextFor drives redundant mode).
+func (*Redundant) Grant(_ *Subflow, max int) int { return max }
+
+// PickOrder implements Scheduler.
+func (*Redundant) PickOrder(sfs []*Subflow) []*Subflow { return sortByRTT(sfs) }
+
+// nextFor assigns the subflow's private cursor range, duplicating data
+// already assigned to other subflows. The shared dsnNext high-water mark
+// only advances when the leading subflow requests fresh bytes.
+func (r *Redundant) nextFor(sf *Subflow, max int) (int, *packet.DSS) {
+	c := sf.conn
+	n := max
+	if sf.redundantCursor < c.dsnNext {
+		// Catch up on bytes other subflows already carry.
+		behind := c.dsnNext - sf.redundantCursor
+		if uint64(n) > behind {
+			n = int(behind)
+		}
+	} else {
+		// Leading subflow: pull fresh data.
+		n = c.source.NextData(n)
+		if n <= 0 {
+			return 0, nil
+		}
+		c.dsnNext += uint64(n)
+	}
+	dss := &packet.DSS{HasMap: true, DSN: sf.redundantCursor, DataLen: uint16(n)}
+	sf.redundantCursor += uint64(n)
+	sf.assigned += uint64(n)
+	return n, dss
+}

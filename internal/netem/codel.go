@@ -1,0 +1,89 @@
+package netem
+
+import (
+	"math"
+	"time"
+
+	"mptcpsim/internal/packet"
+	"mptcpsim/internal/sim"
+)
+
+// CoDel is the Controlled Delay AQM (Nichols & Jacobson, CACM 2012),
+// included as a modern alternative to DropTail/RED for the buffer
+// ablations: instead of queue length it controls *sojourn time*, dropping
+// at increasing frequency while the minimum delay over an interval stays
+// above Target.
+//
+// This implementation adapts the algorithm to the simulator's
+// admission-time hook: the sojourn estimate for an arriving packet is the
+// time the current backlog needs to drain at line rate, which in a
+// fluid-free single-server queue equals the packet's eventual sojourn.
+type CoDel struct {
+	// Target is the acceptable standing queue delay (default 5 ms).
+	Target time.Duration
+	// Interval is the sliding observation window (default 100 ms).
+	Interval time.Duration
+
+	loop *sim.Loop
+
+	// dropping is true while in the dropping state.
+	dropping bool
+	// firstAboveAt is when sojourn first exceeded Target (0 = not above).
+	firstAboveAt sim.Time
+	// dropNextAt schedules the next drop in the dropping state.
+	dropNextAt sim.Time
+	// count is the number of drops in the current dropping state.
+	count int
+}
+
+// NewCoDel returns a CoDel policy with the canonical 5 ms / 100 ms
+// parameters.
+func NewCoDel(loop *sim.Loop) *CoDel {
+	return &CoDel{Target: 5 * time.Millisecond, Interval: 100 * time.Millisecond, loop: loop}
+}
+
+// Name implements AQM.
+func (c *CoDel) Name() string { return "codel" }
+
+// OnEnqueue implements AQM.
+func (c *CoDel) OnEnqueue(l *Link, pkt *packet.Packet) bool {
+	now := c.loop.Now()
+	sojourn := l.Spec.Rate.TxTime(l.QueuedBytes() + pkt.Size())
+
+	if sojourn < c.Target || l.QueuedBytes() <= 3000 {
+		// Below target (or nearly empty): leave the dropping state.
+		c.firstAboveAt = 0
+		if c.dropping {
+			c.dropping = false
+		}
+		return false
+	}
+
+	if !c.dropping {
+		// Above target: start the interval clock; enter dropping state
+		// only after a full Interval above.
+		if c.firstAboveAt == 0 {
+			c.firstAboveAt = now.Add(c.Interval)
+			return false
+		}
+		if now < c.firstAboveAt {
+			return false
+		}
+		c.dropping = true
+		// Control-law restart: begin close to the last drop rate.
+		if c.count > 2 {
+			c.count -= 2
+		} else {
+			c.count = 1
+		}
+		c.dropNextAt = now
+	}
+
+	if now >= c.dropNextAt {
+		c.count++
+		// next drop at now + Interval/sqrt(count)
+		c.dropNextAt = now.Add(time.Duration(float64(c.Interval) / math.Sqrt(float64(c.count))))
+		return true
+	}
+	return false
+}

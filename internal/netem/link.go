@@ -1,0 +1,252 @@
+package netem
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mptcpsim/internal/packet"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/topo"
+	"mptcpsim/internal/unit"
+)
+
+// AQM is a queue-admission policy. OnEnqueue runs for every arriving
+// packet and reports whether it must be dropped instead of queued; the hard
+// capacity check still applies afterwards.
+type AQM interface {
+	// Name identifies the policy in stats output.
+	Name() string
+	// OnEnqueue reports whether to drop the arriving packet.
+	OnEnqueue(l *Link, pkt *packet.Packet) bool
+}
+
+// DropTail is the default policy: drop only on overflow (the overflow check
+// itself lives in the link, so DropTail never drops here).
+type DropTail struct{}
+
+// Name implements AQM.
+func (DropTail) Name() string { return "droptail" }
+
+// OnEnqueue implements AQM.
+func (DropTail) OnEnqueue(*Link, *packet.Packet) bool { return false }
+
+// LinkCounters accumulates per-link statistics, in the spirit of the
+// per-interface counter maps of kernel dataplanes.
+type LinkCounters struct {
+	TxPackets uint64
+	TxBytes   uint64
+	Drops     map[DropReason]uint64
+	// MaxQueue is the high-water mark of queued bytes.
+	MaxQueue unit.ByteSize
+	// Busy accumulates transmitter-active time, for utilisation.
+	Busy time.Duration
+}
+
+// Link is the runtime transmitter for one directed link: a FIFO queue in
+// front of a serialiser that moves Spec.Rate bits per second, followed by
+// Spec.Delay of propagation.
+type Link struct {
+	net  *Network
+	Spec topo.Link
+
+	// capBytes is the queue capacity actually in force.
+	capBytes unit.ByteSize
+	aqm      AQM
+
+	q            []*packet.Packet
+	head         int
+	queuedBytes  unit.ByteSize
+	transmitting bool
+	lastIdleAt   sim.Time
+
+	lossProb float64
+	lossRng  *sim.Rand
+
+	Counters LinkCounters
+}
+
+func newLink(n *Network, spec topo.Link) *Link {
+	cap := spec.Queue
+	if cap <= 0 {
+		cap = spec.Rate.Bytes(DefaultQueueTime)
+		if cap < MinQueue {
+			cap = MinQueue
+		}
+	}
+	return &Link{
+		net:      n,
+		Spec:     spec,
+		capBytes: cap,
+		aqm:      DropTail{},
+		Counters: LinkCounters{Drops: make(map[DropReason]uint64)},
+	}
+}
+
+// Name renders "v1->v2" for stats and drop reporting.
+func (l *Link) Name() string {
+	return fmt.Sprintf("%s->%s", l.net.Graph.Node(l.Spec.From).Name, l.net.Graph.Node(l.Spec.To).Name)
+}
+
+// QueueCap returns the queue capacity in force (after defaulting).
+func (l *Link) QueueCap() unit.ByteSize { return l.capBytes }
+
+// QueuedBytes returns the instantaneous queue occupancy.
+func (l *Link) QueuedBytes() unit.ByteSize { return l.queuedBytes }
+
+// SetAQM replaces the admission policy (default DropTail).
+func (l *Link) SetAQM(a AQM) { l.aqm = a }
+
+// SetLoss configures an independent random loss probability per packet,
+// modelling a lossy (wireless) channel.
+func (l *Link) SetLoss(p float64, rng *sim.Rand) {
+	l.lossProb = p
+	l.lossRng = rng
+}
+
+// Utilisation returns the fraction of the elapsed simulation time the
+// transmitter was busy.
+func (l *Link) Utilisation() float64 {
+	now := l.net.Loop.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(l.Counters.Busy) / float64(now.Duration())
+}
+
+func (l *Link) drop(pkt *packet.Packet, reason DropReason) {
+	l.Counters.Drops[reason]++
+	l.net.tapDrop(l.Name(), pkt, reason)
+}
+
+// enqueue admits a packet to the transmit queue.
+func (l *Link) enqueue(pkt *packet.Packet) {
+	if l.lossProb > 0 && l.lossRng != nil && l.lossRng.Bool(l.lossProb) {
+		l.drop(pkt, DropRandom)
+		return
+	}
+	if l.aqm.OnEnqueue(l, pkt) {
+		l.drop(pkt, DropAQM)
+		return
+	}
+	if l.queuedBytes+pkt.Size() > l.capBytes {
+		l.drop(pkt, DropQueueFull)
+		return
+	}
+	l.q = append(l.q, pkt)
+	l.queuedBytes += pkt.Size()
+	if l.queuedBytes > l.Counters.MaxQueue {
+		l.Counters.MaxQueue = l.queuedBytes
+	}
+	l.startTx()
+}
+
+func (l *Link) pop() *packet.Packet {
+	pkt := l.q[l.head]
+	l.q[l.head] = nil
+	l.head++
+	if l.head == len(l.q) {
+		l.q = l.q[:0]
+		l.head = 0
+	} else if l.head > 256 && l.head*2 >= len(l.q) {
+		l.q = append(l.q[:0], l.q[l.head:]...)
+		l.head = 0
+	}
+	return pkt
+}
+
+func (l *Link) queueLen() int { return len(l.q) - l.head }
+
+func (l *Link) startTx() {
+	if l.transmitting || l.queueLen() == 0 {
+		return
+	}
+	l.transmitting = true
+	pkt := l.pop()
+	l.queuedBytes -= pkt.Size()
+	txTime := l.Spec.Rate.TxTime(pkt.Size())
+	l.net.Loop.Schedule(txTime, func() {
+		l.Counters.Busy += txTime
+		l.Counters.TxPackets++
+		l.Counters.TxBytes += uint64(pkt.Size())
+		l.net.tapTransmit(l, pkt)
+		// Propagate towards the far node while the transmitter moves on.
+		l.net.Loop.Schedule(l.Spec.Delay, func() {
+			l.net.nodes[l.Spec.To].receive(pkt)
+		})
+		l.transmitting = false
+		if l.queueLen() == 0 {
+			l.lastIdleAt = l.net.Loop.Now()
+		}
+		l.startTx()
+	})
+}
+
+// RED is the classic Random Early Detection manager (Floyd & Jacobson
+// 1993): it tracks an EWMA of the queue length and drops arriving packets
+// with rising probability between MinTh and MaxTh, desynchronising TCP
+// flows before the queue overflows.
+type RED struct {
+	// MinTh and MaxTh are the average-queue thresholds in bytes.
+	MinTh, MaxTh unit.ByteSize
+	// MaxP is the drop probability at MaxTh.
+	MaxP float64
+	// Wq is the EWMA weight for the average queue size.
+	Wq float64
+
+	rng   *sim.Rand
+	avg   float64
+	count int
+}
+
+// NewRED returns a RED policy with thresholds derived from the link's
+// queue capacity (min 25%, max 75%) and standard parameters.
+func NewRED(l *Link, rng *sim.Rand) *RED {
+	return &RED{
+		MinTh: l.QueueCap() / 4,
+		MaxTh: l.QueueCap() * 3 / 4,
+		MaxP:  0.1,
+		Wq:    0.002,
+		rng:   rng,
+		count: -1,
+	}
+}
+
+// Name implements AQM.
+func (r *RED) Name() string { return "red" }
+
+// AvgQueue exposes the smoothed queue estimate for tests and stats.
+func (r *RED) AvgQueue() float64 { return r.avg }
+
+// OnEnqueue implements AQM.
+func (r *RED) OnEnqueue(l *Link, pkt *packet.Packet) bool {
+	q := float64(l.QueuedBytes())
+	if l.queueLen() == 0 && !l.transmitting {
+		// Idle decay: pretend small packets drained at line rate while idle.
+		idle := l.net.Loop.Now().Sub(l.lastIdleAt)
+		if idle > 0 {
+			drained := float64(l.Spec.Rate.Bytes(idle))
+			m := drained / 500
+			r.avg *= math.Pow(1-r.Wq, m)
+		}
+	} else {
+		r.avg = (1-r.Wq)*r.avg + r.Wq*q
+	}
+	switch {
+	case r.avg < float64(r.MinTh):
+		r.count = -1
+		return false
+	case r.avg >= float64(r.MaxTh):
+		r.count = 0
+		return true
+	default:
+		r.count++
+		pb := r.MaxP * (r.avg - float64(r.MinTh)) / float64(r.MaxTh-r.MinTh)
+		pa := pb / math.Max(1-float64(r.count)*pb, 1e-9)
+		if r.rng.Bool(pa) {
+			r.count = 0
+			return true
+		}
+		return false
+	}
+}

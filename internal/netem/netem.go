@@ -1,0 +1,272 @@
+// Package netem animates a topo.Graph on a sim.Loop: it instantiates every
+// directed link as a store-and-forward transmitter with a finite queue,
+// every node as a forwarding engine with a local transport demultiplexer,
+// and routes packets with a route.Router.
+//
+// It replaces the paper's Mininet substrate. The model is the standard
+// output-queued router: a packet arriving at a node is either delivered to
+// a registered local handler (host) or forwarded; forwarding enqueues it at
+// the chosen link, which serialises packets at the link rate and delivers
+// them one propagation delay later. Queue overflow drops the arriving
+// packet (DropTail) or earlier ones (RED), which is where TCP's congestion
+// signal comes from.
+//
+// Taps observe transmissions, deliveries and drops; the capture package
+// builds its tshark equivalent on top of them.
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"mptcpsim/internal/packet"
+	"mptcpsim/internal/route"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/topo"
+	"mptcpsim/internal/unit"
+)
+
+// DropReason classifies why a packet was lost.
+type DropReason int
+
+// Drop reasons.
+const (
+	// DropQueueFull: the link's transmit queue had no room (DropTail).
+	DropQueueFull DropReason = iota
+	// DropAQM: the active queue manager chose to drop (RED).
+	DropAQM
+	// DropNoRoute: the router had no entry for (dst, tag).
+	DropNoRoute
+	// DropTTL: the TTL reached zero.
+	DropTTL
+	// DropNoHandler: the packet reached its host but no transport handler
+	// claimed it.
+	DropNoHandler
+	// DropRandom: the link's random loss model fired (wireless).
+	DropRandom
+)
+
+// String names the reason.
+func (r DropReason) String() string {
+	switch r {
+	case DropQueueFull:
+		return "queue-full"
+	case DropAQM:
+		return "aqm"
+	case DropNoRoute:
+		return "no-route"
+	case DropTTL:
+		return "ttl"
+	case DropNoHandler:
+		return "no-handler"
+	case DropRandom:
+		return "random-loss"
+	default:
+		return fmt.Sprintf("drop(%d)", int(r))
+	}
+}
+
+// Tap observes packets at the engine's instrumentation points. Callbacks
+// run synchronously inside the event loop; implementations must not block.
+type Tap interface {
+	// OnTransmit fires when the last bit of pkt leaves link's transmitter.
+	OnTransmit(l *Link, pkt *packet.Packet)
+	// OnDeliver fires when pkt is handed to a local handler at its
+	// destination host.
+	OnDeliver(n *Node, pkt *packet.Packet)
+	// OnDrop fires when pkt is lost anywhere in the network.
+	OnDrop(where string, pkt *packet.Packet, reason DropReason)
+}
+
+// Handler consumes packets delivered to a host's transport layer.
+type Handler interface {
+	Deliver(pkt *packet.Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(pkt *packet.Packet)
+
+// Deliver implements Handler.
+func (f HandlerFunc) Deliver(pkt *packet.Packet) { f(pkt) }
+
+// DefaultQueueTime sizes queues for links created with Queue == 0: the
+// buffer holds this much transmission time worth of bytes (a common router
+// provisioning rule of thumb; roughly one BDP for the paper's RTTs).
+const DefaultQueueTime = 10 * time.Millisecond
+
+// MinQueue is the smallest automatic queue: a handful of full-size packets
+// so even slow links can absorb a burst.
+const MinQueue = 10 * 1500 * unit.Byte
+
+// Network is the animated topology.
+type Network struct {
+	Loop   *sim.Loop
+	Graph  *topo.Graph
+	Router route.Router
+
+	nodes    []*Node
+	links    []*Link
+	addr2nod map[packet.Addr]topo.NodeID
+	nod2addr map[topo.NodeID]packet.Addr
+	taps     []Tap
+	nextUID  uint64
+	nextIP   uint32
+}
+
+// New animates graph g with the given router on loop l.
+func New(l *sim.Loop, g *topo.Graph, r route.Router) (*Network, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		Loop:     l,
+		Graph:    g,
+		Router:   r,
+		addr2nod: make(map[packet.Addr]topo.NodeID),
+		nod2addr: make(map[topo.NodeID]packet.Addr),
+		nextIP:   uint32(packet.MakeAddr(10, 0, 0, 0)),
+	}
+	n.nodes = make([]*Node, g.NumNodes())
+	for _, nd := range g.Nodes() {
+		n.nodes[nd.ID] = &Node{net: n, ID: nd.ID, Name: nd.Name,
+			handlers: make(map[packet.Port]Handler)}
+	}
+	n.links = make([]*Link, g.NumLinks())
+	for _, spec := range g.Links() {
+		n.links[spec.ID] = newLink(n, spec)
+	}
+	return n, nil
+}
+
+// AttachTap registers a tap on every instrumentation point.
+func (n *Network) AttachTap(t Tap) { n.taps = append(n.taps, t) }
+
+// AssignAddr gives node an automatically allocated address (10.0.0.1, .2,
+// ...). Assigning twice returns the existing address.
+func (n *Network) AssignAddr(node topo.NodeID) packet.Addr {
+	if a, ok := n.nod2addr[node]; ok {
+		return a
+	}
+	n.nextIP++
+	a := packet.Addr(n.nextIP)
+	n.nod2addr[node] = a
+	n.addr2nod[a] = node
+	return a
+}
+
+// AddrOf returns the address assigned to a node.
+func (n *Network) AddrOf(node topo.NodeID) (packet.Addr, bool) {
+	a, ok := n.nod2addr[node]
+	return a, ok
+}
+
+// NodeOf returns the node owning an address.
+func (n *Network) NodeOf(a packet.Addr) (topo.NodeID, bool) {
+	id, ok := n.addr2nod[a]
+	return id, ok
+}
+
+// Node returns the runtime node for an ID.
+func (n *Network) Node(id topo.NodeID) *Node { return n.nodes[id] }
+
+// Link returns the runtime link for an ID.
+func (n *Network) Link(id topo.LinkID) *Link { return n.links[id] }
+
+// Links returns all runtime links in ID order.
+func (n *Network) Links() []*Link { return n.links }
+
+func (n *Network) tapTransmit(l *Link, pkt *packet.Packet) {
+	for _, t := range n.taps {
+		t.OnTransmit(l, pkt)
+	}
+}
+
+func (n *Network) tapDeliver(nd *Node, pkt *packet.Packet) {
+	for _, t := range n.taps {
+		t.OnDeliver(nd, pkt)
+	}
+}
+
+func (n *Network) tapDrop(where string, pkt *packet.Packet, reason DropReason) {
+	for _, t := range n.taps {
+		t.OnDrop(where, pkt, reason)
+	}
+}
+
+// Node is the runtime state of a topology node: a forwarding engine plus,
+// for hosts, a transport demultiplexer keyed by destination port.
+type Node struct {
+	net  *Network
+	ID   topo.NodeID
+	Name string
+
+	handlers map[packet.Port]Handler
+
+	// Forwarded counts transit packets, Delivered local deliveries.
+	Forwarded, Delivered uint64
+}
+
+// Register binds a handler to a local destination port. It fails if the
+// port is taken.
+func (nd *Node) Register(port packet.Port, h Handler) error {
+	if _, dup := nd.handlers[port]; dup {
+		return fmt.Errorf("netem: node %s port %d already registered", nd.Name, port)
+	}
+	nd.handlers[port] = h
+	return nil
+}
+
+// Unregister releases a local port.
+func (nd *Node) Unregister(port packet.Port) { delete(nd.handlers, port) }
+
+// Send originates pkt at this node: it stamps the packet's UID, timestamp
+// and TTL, then forwards it. Transport stacks call Send; forwarding between
+// routers uses receive internally.
+func (nd *Node) Send(pkt *packet.Packet) {
+	nd.net.nextUID++
+	pkt.UID = nd.net.nextUID
+	pkt.SentAt = nd.net.Loop.Now()
+	if pkt.IP.TTL == 0 {
+		pkt.IP.TTL = packet.DefaultTTL
+	}
+	nd.receive(pkt)
+}
+
+// receive handles a packet arriving at (or originating from) this node.
+func (nd *Node) receive(pkt *packet.Packet) {
+	if dstNode, ok := nd.net.NodeOf(pkt.IP.Dst); ok && dstNode == nd.ID {
+		nd.deliver(pkt)
+		return
+	}
+	// Transit: decrement TTL, route, enqueue.
+	if pkt.IP.TTL == 0 {
+		nd.net.tapDrop(nd.Name, pkt, DropTTL)
+		return
+	}
+	pkt.IP.TTL--
+	lid, err := nd.net.Router.NextLink(nd.ID, pkt)
+	if err != nil {
+		nd.net.tapDrop(nd.Name, pkt, DropNoRoute)
+		return
+	}
+	nd.Forwarded++
+	nd.net.links[lid].enqueue(pkt)
+}
+
+func (nd *Node) deliver(pkt *packet.Packet) {
+	var port packet.Port
+	switch {
+	case pkt.TCP != nil:
+		port = pkt.TCP.DstPort
+	case pkt.UDP != nil:
+		port = pkt.UDP.DstPort
+	}
+	h, ok := nd.handlers[port]
+	if !ok {
+		nd.net.tapDrop(nd.Name, pkt, DropNoHandler)
+		return
+	}
+	nd.Delivered++
+	nd.net.tapDeliver(nd, pkt)
+	h.Deliver(pkt)
+}

@@ -1,0 +1,504 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"mptcpsim/internal/packet"
+	"mptcpsim/internal/route"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/topo"
+	"mptcpsim/internal/unit"
+)
+
+// recorder is a Tap that logs every event with its virtual time.
+type recorder struct {
+	loop     *sim.Loop
+	tx       []sim.Time
+	delivers []sim.Time
+	drops    []DropReason
+	dropLocs []string
+}
+
+func (r *recorder) OnTransmit(l *Link, p *packet.Packet) { r.tx = append(r.tx, r.loop.Now()) }
+func (r *recorder) OnDeliver(n *Node, p *packet.Packet) {
+	r.delivers = append(r.delivers, r.loop.Now())
+}
+func (r *recorder) OnDrop(where string, p *packet.Packet, reason DropReason) {
+	r.drops = append(r.drops, reason)
+	r.dropLocs = append(r.dropLocs, where)
+}
+
+// sink records delivered packets in arrival order.
+type sink struct {
+	loop *sim.Loop
+	pkts []*packet.Packet
+	at   []sim.Time
+}
+
+func (s *sink) Deliver(p *packet.Packet) {
+	s.pkts = append(s.pkts, p)
+	s.at = append(s.at, s.loop.Now())
+}
+
+// lineNet builds a -> b -> c with the given rate/delay on both hops and a
+// tag-1 route from a to c plus reverse.
+func lineNet(t *testing.T, rate unit.Rate, delay time.Duration, queue unit.ByteSize) (*sim.Loop, *Network, *Node, *Node, packet.Addr, packet.Addr) {
+	t.Helper()
+	g := topo.New()
+	a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
+	ab := g.AddLink(a, b, rate, delay, queue)
+	bc := g.AddLink(b, c, rate, delay, queue)
+	g.AddLink(c, b, rate, delay, queue)
+	g.AddLink(b, a, rate, delay, queue)
+
+	loop := sim.NewLoop()
+	tt := route.NewTagTable(g)
+	net, err := New(loop, g, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aAddr := net.AssignAddr(a)
+	cAddr := net.AssignAddr(c)
+	fwd := topo.Path{Nodes: []topo.NodeID{a, b, c}, Links: []topo.LinkID{ab, bc}}
+	if err := tt.AddPath(cAddr, 1, fwd); err != nil {
+		t.Fatal(err)
+	}
+	rev, err := topo.ReversePath(g, fwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tt.AddPath(aAddr, 1, rev); err != nil {
+		t.Fatal(err)
+	}
+	return loop, net, net.Node(a), net.Node(c), aAddr, cAddr
+}
+
+func dataPkt(src, dst packet.Addr, tag packet.Tag, payload int) *packet.Packet {
+	return &packet.Packet{
+		IP:         packet.IPv4{Tag: tag, Proto: packet.ProtoUDP, Src: src, Dst: dst},
+		UDP:        &packet.UDP{SrcPort: 9000, DstPort: 9001},
+		PayloadLen: payload,
+	}
+}
+
+func TestStoreAndForwardTiming(t *testing.T) {
+	// 1 Mbps, 5 ms per hop; packet 1250B incl. headers => tx 10 ms per hop.
+	loop, _, a, c, aAddr, cAddr := lineNet(t, unit.Mbps, 5*time.Millisecond, 100*unit.KB)
+	s := &sink{loop: loop}
+	if err := c.Register(9001, s); err != nil {
+		t.Fatal(err)
+	}
+	p := dataPkt(aAddr, cAddr, 1, 1250-packet.IPv4HeaderLen-packet.UDPHeaderLen)
+	loop.Schedule(0, func() { a.Send(p) })
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.pkts) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(s.pkts))
+	}
+	want := sim.Time(30 * time.Millisecond) // 2*(10ms tx + 5ms prop)
+	if s.at[0] != want {
+		t.Fatalf("delivery at %v, want %v", s.at[0], want)
+	}
+}
+
+func TestPipelining(t *testing.T) {
+	// Two packets back to back: the second's arrival is one tx-time after
+	// the first (pipelined across the two hops).
+	loop, _, a, c, aAddr, cAddr := lineNet(t, unit.Mbps, 5*time.Millisecond, 100*unit.KB)
+	s := &sink{loop: loop}
+	if err := c.Register(9001, s); err != nil {
+		t.Fatal(err)
+	}
+	payload := 1250 - packet.IPv4HeaderLen - packet.UDPHeaderLen
+	loop.Schedule(0, func() {
+		a.Send(dataPkt(aAddr, cAddr, 1, payload))
+		a.Send(dataPkt(aAddr, cAddr, 1, payload))
+	})
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.at) != 2 {
+		t.Fatalf("delivered %d, want 2", len(s.at))
+	}
+	if s.at[0] != sim.Time(30*time.Millisecond) || s.at[1] != sim.Time(40*time.Millisecond) {
+		t.Fatalf("arrivals %v, want [30ms 40ms]", s.at)
+	}
+}
+
+func TestFIFOOrderPreserved(t *testing.T) {
+	loop, _, a, c, aAddr, cAddr := lineNet(t, 10*unit.Mbps, time.Millisecond, unit.MB)
+	s := &sink{loop: loop}
+	if err := c.Register(9001, s); err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	loop.Schedule(0, func() {
+		for i := 0; i < n; i++ {
+			a.Send(dataPkt(aAddr, cAddr, 1, 100+i))
+		}
+	})
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.pkts) != n {
+		t.Fatalf("delivered %d, want %d", len(s.pkts), n)
+	}
+	for i, p := range s.pkts {
+		if p.PayloadLen != 100+i {
+			t.Fatalf("packet %d out of order (payload %d)", i, p.PayloadLen)
+		}
+	}
+}
+
+func TestQueueOverflowDropsTail(t *testing.T) {
+	// Queue of ~3 packets at 1 Mbps: a burst of 10 must lose some.
+	loop, net, a, c, aAddr, cAddr := lineNet(t, unit.Mbps, time.Millisecond, 4000)
+	rec := &recorder{loop: loop}
+	net.AttachTap(rec)
+	s := &sink{loop: loop}
+	if err := c.Register(9001, s); err != nil {
+		t.Fatal(err)
+	}
+	payload := 1250 - packet.IPv4HeaderLen - packet.UDPHeaderLen
+	loop.Schedule(0, func() {
+		for i := 0; i < 10; i++ {
+			a.Send(dataPkt(aAddr, cAddr, 1, payload))
+		}
+	})
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 in flight + floor(4000/1250)=3 queued = 4 survive.
+	if len(s.pkts) != 4 {
+		t.Fatalf("delivered %d, want 4", len(s.pkts))
+	}
+	if len(rec.drops) != 6 {
+		t.Fatalf("drops %d, want 6", len(rec.drops))
+	}
+	for _, r := range rec.drops {
+		if r != DropQueueFull {
+			t.Fatalf("drop reason %v, want queue-full", r)
+		}
+	}
+	ab := net.Link(0)
+	if ab.Counters.Drops[DropQueueFull] != 6 {
+		t.Fatalf("link counter = %d, want 6", ab.Counters.Drops[DropQueueFull])
+	}
+	if ab.Counters.TxPackets != 4 {
+		t.Fatalf("TxPackets = %d, want 4", ab.Counters.TxPackets)
+	}
+}
+
+func TestNoRouteDrop(t *testing.T) {
+	loop, net, a, _, aAddr, cAddr := lineNet(t, unit.Mbps, time.Millisecond, unit.MB)
+	rec := &recorder{loop: loop}
+	net.AttachTap(rec)
+	loop.Schedule(0, func() { a.Send(dataPkt(aAddr, cAddr, 42, 100)) })
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.drops) != 1 || rec.drops[0] != DropNoRoute {
+		t.Fatalf("drops = %v, want [no-route]", rec.drops)
+	}
+}
+
+func TestNoHandlerDrop(t *testing.T) {
+	loop, net, a, _, aAddr, cAddr := lineNet(t, unit.Mbps, time.Millisecond, unit.MB)
+	rec := &recorder{loop: loop}
+	net.AttachTap(rec)
+	// Nothing registered at port 9001 on c.
+	loop.Schedule(0, func() { a.Send(dataPkt(aAddr, cAddr, 1, 100)) })
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.drops) != 1 || rec.drops[0] != DropNoHandler {
+		t.Fatalf("drops = %v, want [no-handler]", rec.drops)
+	}
+}
+
+// loopingRouter bounces every packet back and forth between two nodes.
+type loopingRouter struct{ l0, l1 topo.LinkID }
+
+func (r *loopingRouter) NextLink(n topo.NodeID, pkt *packet.Packet) (topo.LinkID, error) {
+	if n == 0 {
+		return r.l0, nil
+	}
+	return r.l1, nil
+}
+
+func TestTTLExpiry(t *testing.T) {
+	g := topo.New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	ab, ba := g.AddDuplex(a, b, unit.Gbps, time.Microsecond, unit.MB)
+	loop := sim.NewLoop()
+	net, err := New(loop, g, &loopingRouter{l0: ab, l1: ba})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := net.AssignAddr(a)
+	rec := &recorder{loop: loop}
+	net.AttachTap(rec)
+	p := dataPkt(src, packet.MakeAddr(99, 9, 9, 9), 1, 10)
+	loop.Schedule(0, func() { net.Node(a).Send(p) })
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.drops) != 1 || rec.drops[0] != DropTTL {
+		t.Fatalf("drops = %v, want [ttl]", rec.drops)
+	}
+	if p.IP.TTL != 0 {
+		t.Fatalf("TTL = %d after expiry", p.IP.TTL)
+	}
+}
+
+func TestRandomLoss(t *testing.T) {
+	loop, net, a, c, aAddr, cAddr := lineNet(t, unit.Gbps, time.Microsecond, unit.MB)
+	s := &sink{loop: loop}
+	if err := c.Register(9001, s); err != nil {
+		t.Fatal(err)
+	}
+	net.Link(0).SetLoss(0.5, sim.NewRand(1))
+	const n = 2000
+	loop.Schedule(0, func() {
+		for i := 0; i < n; i++ {
+			a.Send(dataPkt(aAddr, cAddr, 1, 100))
+		}
+	})
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := len(s.pkts)
+	if got < n*4/10 || got > n*6/10 {
+		t.Fatalf("survivors = %d/%d, want about half", got, n)
+	}
+	if net.Link(0).Counters.Drops[DropRandom] != uint64(n-got) {
+		t.Fatal("random-loss counter inconsistent")
+	}
+}
+
+func TestUtilisationSaturated(t *testing.T) {
+	loop, net, a, c, aAddr, cAddr := lineNet(t, unit.Mbps, time.Millisecond, unit.MB)
+	s := &sink{loop: loop}
+	if err := c.Register(9001, s); err != nil {
+		t.Fatal(err)
+	}
+	payload := 1250 - packet.IPv4HeaderLen - packet.UDPHeaderLen
+	loop.Schedule(0, func() {
+		for i := 0; i < 100; i++ {
+			a.Send(dataPkt(aAddr, cAddr, 1, payload))
+		}
+	})
+	// 100 packets * 10ms = 1s of tx time on link a->b.
+	if err := loop.RunUntil(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	u := net.Link(0).Utilisation()
+	if u < 0.97 || u > 1.001 {
+		t.Fatalf("utilisation = %v, want ~1", u)
+	}
+}
+
+func TestTapOrderingAndTimestamps(t *testing.T) {
+	loop, net, a, c, aAddr, cAddr := lineNet(t, unit.Mbps, 5*time.Millisecond, unit.MB)
+	rec := &recorder{loop: loop}
+	net.AttachTap(rec)
+	s := &sink{loop: loop}
+	if err := c.Register(9001, s); err != nil {
+		t.Fatal(err)
+	}
+	payload := 1250 - packet.IPv4HeaderLen - packet.UDPHeaderLen
+	loop.Schedule(0, func() { a.Send(dataPkt(aAddr, cAddr, 1, payload)) })
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Two transmissions (a->b, b->c) then one delivery.
+	if len(rec.tx) != 2 || len(rec.delivers) != 1 {
+		t.Fatalf("tx=%d deliver=%d", len(rec.tx), len(rec.delivers))
+	}
+	if rec.tx[0] != sim.Time(10*time.Millisecond) || rec.tx[1] != sim.Time(25*time.Millisecond) {
+		t.Fatalf("tx times %v", rec.tx)
+	}
+	if rec.delivers[0] != sim.Time(30*time.Millisecond) {
+		t.Fatalf("deliver time %v", rec.delivers[0])
+	}
+}
+
+func TestPortCollisionRejected(t *testing.T) {
+	_, _, _, c, _, _ := lineNet(t, unit.Mbps, time.Millisecond, unit.MB)
+	if err := c.Register(9001, &sink{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(9001, &sink{}); err == nil {
+		t.Fatal("duplicate Register accepted")
+	}
+	c.Unregister(9001)
+	if err := c.Register(9001, &sink{}); err != nil {
+		t.Fatal("Register after Unregister failed")
+	}
+}
+
+func TestREDDropsEarly(t *testing.T) {
+	loop, net, a, c, aAddr, cAddr := lineNet(t, unit.Mbps, time.Millisecond, 50*unit.KB)
+	red := NewRED(net.Link(0), sim.NewRand(7))
+	// The standard Wq=0.002 averages over ~500 packets; this test offers a
+	// few hundred, so use a faster EWMA to exercise the early-drop region.
+	red.Wq = 0.05
+	net.Link(0).SetAQM(red)
+	rec := &recorder{loop: loop}
+	net.AttachTap(rec)
+	s := &sink{loop: loop}
+	if err := c.Register(9001, s); err != nil {
+		t.Fatal(err)
+	}
+	payload := 1250 - packet.IPv4HeaderLen - packet.UDPHeaderLen
+	// Offer 2x the link rate for 2 seconds: RED must drop before overflow.
+	var i int
+	var feed func()
+	feed = func() {
+		a.Send(dataPkt(aAddr, cAddr, 1, payload))
+		i++
+		if i < 400 {
+			loop.Schedule(5*time.Millisecond, feed)
+		}
+	}
+	loop.Schedule(0, feed)
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	aqmDrops := net.Link(0).Counters.Drops[DropAQM]
+	overflow := net.Link(0).Counters.Drops[DropQueueFull]
+	if aqmDrops == 0 {
+		t.Fatal("RED never dropped")
+	}
+	if overflow > aqmDrops {
+		t.Fatalf("overflow drops (%d) dominate AQM drops (%d): RED ineffective", overflow, aqmDrops)
+	}
+	if red.AvgQueue() <= 0 {
+		t.Fatal("RED average never moved")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() []sim.Time {
+		loop, net, a, c, aAddr, cAddr := lineNet(t, 10*unit.Mbps, time.Millisecond, 20*unit.KB)
+		net.Link(0).SetLoss(0.1, sim.NewRand(99))
+		s := &sink{loop: loop}
+		if err := c.Register(9001, s); err != nil {
+			t.Fatal(err)
+		}
+		loop.Schedule(0, func() {
+			for i := 0; i < 200; i++ {
+				a.Send(dataPkt(aAddr, cAddr, 1, 1000))
+			}
+		})
+		if err := loop.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return s.at
+	}
+	a1, a2 := run(), run()
+	if len(a1) != len(a2) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("runs diverge at %d", i)
+		}
+	}
+}
+
+func TestAutoQueueSizing(t *testing.T) {
+	g := topo.New()
+	a, b := g.AddNode("a"), g.AddNode("b")
+	g.AddLink(a, b, 100*unit.Mbps, time.Millisecond, 0) // auto
+	g.AddLink(b, a, unit.Kbps, time.Millisecond, 0)     // auto, tiny rate
+	net, err := New(sim.NewLoop(), g, route.NewTagTable(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 Mbps * 10 ms = 125000 bytes.
+	if got := net.Link(0).QueueCap(); got != 125000 {
+		t.Fatalf("auto queue = %d, want 125000", got)
+	}
+	// Tiny link clamps to the minimum.
+	if got := net.Link(1).QueueCap(); got != MinQueue {
+		t.Fatalf("min queue = %d, want %d", got, MinQueue)
+	}
+}
+
+func TestCoDelControlsQueueDelay(t *testing.T) {
+	// Offer 1.25x the link rate for 3 s: the backlog stays within the
+	// 100KB buffer, so DropTail never drops and the standing queue keeps
+	// growing; CoDel must intervene and hold the queue shorter. (Against
+	// a heavily unresponsive flood CoDel degrades to tail-drop by design,
+	// so a moderate overload is the discriminating case.)
+	run := func(useCoDel bool) (drops uint64, maxQueue unit.ByteSize) {
+		loop, net, a, c, aAddr, cAddr := lineNet(t, unit.Mbps, time.Millisecond, 100*unit.KB)
+		if useCoDel {
+			net.Link(0).SetAQM(NewCoDel(loop))
+		}
+		s := &sink{loop: loop}
+		if err := c.Register(9001, s); err != nil {
+			t.Fatal(err)
+		}
+		payload := 1250 - packet.IPv4HeaderLen - packet.UDPHeaderLen
+		var i int
+		var feed func()
+		feed = func() {
+			a.Send(dataPkt(aAddr, cAddr, 1, payload))
+			i++
+			if i < 375 {
+				loop.Schedule(8*time.Millisecond, feed)
+			}
+		}
+		loop.Schedule(0, feed)
+		if err := loop.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var d uint64
+		for _, v := range net.Link(0).Counters.Drops {
+			d += v
+		}
+		return d, net.Link(0).Counters.MaxQueue
+	}
+	tailDrops, tailMax := run(false)
+	codelDrops, codelMax := run(true)
+	if tailDrops != 0 {
+		t.Fatalf("DropTail dropped %d — overload exceeds the buffer, test miscalibrated", tailDrops)
+	}
+	if codelDrops == 0 {
+		t.Fatal("CoDel never dropped under persistent overload")
+	}
+	if codelMax >= tailMax {
+		t.Fatalf("CoDel queue high-water %v not below DropTail %v", codelMax, tailMax)
+	}
+}
+
+func TestCoDelIdleBelowTarget(t *testing.T) {
+	// At light load CoDel must never drop.
+	loop, net, a, c, aAddr, cAddr := lineNet(t, 10*unit.Mbps, time.Millisecond, 100*unit.KB)
+	net.Link(0).SetAQM(NewCoDel(loop))
+	s := &sink{loop: loop}
+	if err := c.Register(9001, s); err != nil {
+		t.Fatal(err)
+	}
+	var i int
+	var feed func()
+	feed = func() {
+		a.Send(dataPkt(aAddr, cAddr, 1, 1000))
+		i++
+		if i < 100 {
+			loop.Schedule(10*time.Millisecond, feed)
+		}
+	}
+	loop.Schedule(0, feed)
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.pkts) != 100 {
+		t.Fatalf("light load lost packets: %d/100", len(s.pkts))
+	}
+}

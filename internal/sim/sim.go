@@ -1,0 +1,234 @@
+// Package sim provides a deterministic discrete-event simulation kernel:
+// a virtual clock, an event loop ordered by (time, scheduling sequence),
+// cancellable timers and a seeded random source.
+//
+// The kernel is single-threaded by design. All model code (links, TCP
+// stacks, applications) runs inside event callbacks on one goroutine, so no
+// locking is needed and identical seeds reproduce identical executions
+// byte-for-byte. Harness code that wants parallelism runs one Loop per
+// scenario in separate goroutines.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It is deliberately distinct from time.Time: simulations start
+// at zero and have no wall-clock meaning.
+type Time int64
+
+// Common virtual-time constants.
+const (
+	// Start is the beginning of every simulation.
+	Start Time = 0
+	// End is the largest representable virtual time.
+	End Time = math.MaxInt64
+)
+
+// Add returns t shifted by d.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts t to the duration elapsed since Start.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// String formats t as a duration since the simulation start.
+func (t Time) String() string {
+	if t == End {
+		return "end"
+	}
+	return time.Duration(t).String()
+}
+
+// event is a scheduled callback. Events compare by (at, seq) so that events
+// scheduled earlier at the same instant run first, which makes runs
+// deterministic regardless of heap internals.
+type event struct {
+	at      Time
+	seq     uint64
+	fn      func()
+	index   int // position in the heap, -1 once popped or cancelled
+	stopped bool
+}
+
+// eventQueue implements container/heap over pending events.
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event. The zero value is not useful;
+// timers are created by Loop.Schedule and Loop.At.
+type Timer struct {
+	loop *Loop
+	ev   *event
+}
+
+// Stop cancels the timer. It reports whether the callback was still pending;
+// it returns false if the callback already ran or the timer was stopped.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.stopped || t.ev.index < 0 {
+		return false
+	}
+	t.ev.stopped = true
+	heap.Remove(&t.loop.queue, t.ev.index)
+	return true
+}
+
+// Pending reports whether the timer's callback has not yet fired or been
+// stopped.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.stopped && t.ev.index >= 0
+}
+
+// When returns the virtual time the timer is scheduled to fire at.
+func (t *Timer) When() Time { return t.ev.at }
+
+// Loop is a discrete-event loop. The zero value is not ready for use; call
+// NewLoop.
+type Loop struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	running bool
+	stopped bool
+
+	// processed counts events executed, for diagnostics and run limits.
+	processed uint64
+	// limit aborts runaway simulations; 0 means no limit.
+	limit uint64
+}
+
+// NewLoop returns an empty event loop positioned at time Start.
+func NewLoop() *Loop {
+	return &Loop{}
+}
+
+// Now returns the current virtual time.
+func (l *Loop) Now() Time { return l.now }
+
+// Processed returns the number of events executed so far.
+func (l *Loop) Processed() uint64 { return l.processed }
+
+// SetEventLimit aborts Run with ErrEventLimit after n events (0 disables the
+// limit). It exists to catch accidental event storms in tests.
+func (l *Loop) SetEventLimit(n uint64) { l.limit = n }
+
+// ErrEventLimit is returned by Run when the configured event limit is hit.
+var ErrEventLimit = errors.New("sim: event limit exceeded")
+
+// Schedule runs fn after delay d of virtual time. A non-positive delay runs
+// fn as soon as the loop regains control, still in deterministic order.
+func (l *Loop) Schedule(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return l.At(l.now.Add(d), fn)
+}
+
+// At runs fn at absolute virtual time t. Times in the past are clamped to
+// the current instant.
+func (l *Loop) At(t Time, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
+	if t < l.now {
+		t = l.now
+	}
+	ev := &event{at: t, seq: l.seq, fn: fn}
+	l.seq++
+	heap.Push(&l.queue, ev)
+	return &Timer{loop: l, ev: ev}
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (l *Loop) Stop() { l.stopped = true }
+
+// Len returns the number of pending events.
+func (l *Loop) Len() int { return l.queue.Len() }
+
+// Run executes events in order until the queue drains, Stop is called, or
+// the event limit is exceeded.
+func (l *Loop) Run() error { return l.RunUntil(End) }
+
+// RunUntil executes events with timestamps <= deadline and then advances the
+// clock to the deadline (if the deadline precedes pending work). It returns
+// nil when the deadline is reached or the queue drains.
+func (l *Loop) RunUntil(deadline Time) error {
+	if l.running {
+		return errors.New("sim: RunUntil called re-entrantly")
+	}
+	l.running = true
+	l.stopped = false
+	defer func() { l.running = false }()
+
+	for l.queue.Len() > 0 && !l.stopped {
+		next := l.queue[0]
+		if next.at > deadline {
+			l.now = deadline
+			return nil
+		}
+		heap.Pop(&l.queue)
+		if next.stopped {
+			continue
+		}
+		if next.at < l.now {
+			// Heap invariant violated; this is a kernel bug, not a model bug.
+			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", l.now, next.at))
+		}
+		l.now = next.at
+		next.stopped = true
+		next.fn()
+		l.processed++
+		if l.limit > 0 && l.processed >= l.limit {
+			return fmt.Errorf("%w (%d events)", ErrEventLimit, l.processed)
+		}
+	}
+	if deadline != End && deadline > l.now {
+		l.now = deadline
+	}
+	return nil
+}
+
+// RunFor runs the loop for a span of virtual time from the current instant.
+func (l *Loop) RunFor(d time.Duration) error {
+	return l.RunUntil(l.now.Add(d))
+}

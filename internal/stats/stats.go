@@ -1,0 +1,145 @@
+// Package stats computes the summary metrics behind the paper's §3
+// narrative: whether and when a congestion-control algorithm reaches the
+// optimal total throughput, how stable it is after convergence, and how
+// the achieved allocation compares to the LP optimum.
+package stats
+
+import (
+	"math"
+	"time"
+
+	"mptcpsim/internal/trace"
+)
+
+// ConvergenceTime returns the first time at which the series enters the
+// band [target*(1-tol), inf) and stays there for the hold duration.
+func ConvergenceTime(s *trace.Series, target, tol float64, hold time.Duration) (time.Duration, bool) {
+	if s.Step <= 0 || len(s.V) == 0 {
+		return 0, false
+	}
+	need := int(hold / s.Step)
+	if need < 1 {
+		need = 1
+	}
+	floor := target * (1 - tol)
+	run := 0
+	for i, v := range s.V {
+		if v >= floor {
+			run++
+			if run >= need {
+				start := i - run + 1
+				return s.Start + time.Duration(start)*s.Step, true
+			}
+		} else {
+			run = 0
+		}
+	}
+	return 0, false
+}
+
+// OptimalityGap returns 1 - mean/target over [from, to): 0 means the
+// series averages the target, 0.25 means it runs 25% below.
+func OptimalityGap(s *trace.Series, target float64, from, to time.Duration) float64 {
+	mean, _, _, _ := s.Stats(from, to)
+	if target <= 0 {
+		return 0
+	}
+	return 1 - mean/target
+}
+
+// CoV returns the coefficient of variation (stddev/mean) over [from, to),
+// the stability measure: CUBIC converges but stays noisy, OLIA converges
+// slowly but then sits still.
+func CoV(s *trace.Series, from, to time.Duration) float64 {
+	mean, _, _, std := s.Stats(from, to)
+	if mean == 0 {
+		return 0
+	}
+	return std / mean
+}
+
+// JainIndex computes Jain's fairness index of an allocation: 1 when all
+// values are equal, 1/n when one value dominates.
+func JainIndex(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, v := range vals {
+		sum += v
+		sq += v * v
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(vals)) * sq)
+}
+
+// AllocationError returns the mean absolute deviation between the achieved
+// per-path averages and a reference allocation (e.g. the LP optimum), in
+// the same unit as the series (Mbps).
+func AllocationError(achieved, reference []float64) float64 {
+	n := len(achieved)
+	if len(reference) < n {
+		n = len(reference)
+	}
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += math.Abs(achieved[i] - reference[i])
+	}
+	return sum / float64(n)
+}
+
+// Summary aggregates one run's metrics.
+type Summary struct {
+	// Algorithm names the congestion control.
+	Algorithm string
+	// TotalMean is the mean total throughput over the measurement window.
+	TotalMean float64
+	// Gap is the optimality gap versus the LP total.
+	Gap float64
+	// Converged reports whether the total entered the optimum band.
+	Converged bool
+	// ConvergedAt is the convergence time (valid if Converged).
+	ConvergedAt time.Duration
+	// PostCoV is the coefficient of variation after convergence (or over
+	// the last half of the run when not converged).
+	PostCoV float64
+	// PathMeans are the per-path mean rates over the measurement window.
+	PathMeans []float64
+	// ReachedPareto reports whether the total reached the greedy/Pareto
+	// level (the paper's suboptimal trap), and ParetoAt when. The gap
+	// between ParetoAt and ConvergedAt is the duration of the "shake-down"
+	// search the paper describes.
+	ReachedPareto bool
+	ParetoAt      time.Duration
+}
+
+// Summarize computes a Summary for a run: total and per-path series, the
+// LP target, the greedy/Pareto level, and the convergence parameters.
+func Summarize(algorithm string, total *trace.Series, paths []*trace.Series,
+	target, pareto, tol float64, hold time.Duration) Summary {
+	dur := time.Duration(total.Len()) * total.Step
+	s := Summary{Algorithm: algorithm}
+	// Skip the first 10% (slow-start transient) for the window mean.
+	from := dur / 10
+	s.TotalMean, _, _, _ = total.Stats(from, dur)
+	s.Gap = OptimalityGap(total, target, from, dur)
+	s.ConvergedAt, s.Converged = ConvergenceTime(total, target, tol, hold)
+	if pareto > 0 {
+		s.ParetoAt, s.ReachedPareto = ConvergenceTime(total, pareto, tol, hold/2)
+	}
+	covFrom := dur / 2
+	if s.Converged && s.ConvergedAt > covFrom {
+		covFrom = s.ConvergedAt
+	}
+	s.PostCoV = CoV(total, covFrom, dur)
+	for _, p := range paths {
+		m, _, _, _ := p.Stats(from, dur)
+		s.PathMeans = append(s.PathMeans, m)
+	}
+	return s
+}

@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mptcpsim/internal/trace"
+)
+
+func mk(step time.Duration, v ...float64) *trace.Series {
+	return &trace.Series{Name: "s", Step: step, V: v}
+}
+
+func TestConvergenceTime(t *testing.T) {
+	// Ramp: 50, 70, 86, 88, 89, 90, 88, 89 with target 90 tol 5% (>=85.5).
+	s := mk(time.Second, 50, 70, 86, 88, 89, 90, 88, 89)
+	at, ok := ConvergenceTime(s, 90, 0.05, 3*time.Second)
+	if !ok {
+		t.Fatal("should converge")
+	}
+	if at != 2*time.Second {
+		t.Fatalf("converged at %v, want 2s", at)
+	}
+}
+
+func TestConvergenceRequiresHold(t *testing.T) {
+	// Spikes above the band but never holds 3 bins.
+	s := mk(time.Second, 90, 10, 90, 10, 90, 10)
+	if _, ok := ConvergenceTime(s, 90, 0.05, 3*time.Second); ok {
+		t.Fatal("flapping series reported converged")
+	}
+	// Hold of 1 bin accepts the first spike.
+	at, ok := ConvergenceTime(s, 90, 0.05, time.Second)
+	if !ok || at != 0 {
+		t.Fatalf("1-bin hold: %v %v", at, ok)
+	}
+}
+
+func TestConvergenceNever(t *testing.T) {
+	s := mk(time.Second, 50, 60, 70)
+	if _, ok := ConvergenceTime(s, 90, 0.05, time.Second); ok {
+		t.Fatal("sub-band series converged")
+	}
+	if _, ok := ConvergenceTime(&trace.Series{}, 90, 0.05, time.Second); ok {
+		t.Fatal("empty series converged")
+	}
+}
+
+func TestOptimalityGap(t *testing.T) {
+	s := mk(time.Second, 45, 45, 45, 45)
+	if g := OptimalityGap(s, 90, 0, 4*time.Second); math.Abs(g-0.5) > 1e-9 {
+		t.Fatalf("gap = %v, want 0.5", g)
+	}
+	if g := OptimalityGap(s, 0, 0, time.Second); g != 0 {
+		t.Fatal("zero target must give 0")
+	}
+}
+
+func TestCoV(t *testing.T) {
+	flat := mk(time.Second, 10, 10, 10, 10)
+	if c := CoV(flat, 0, 4*time.Second); c != 0 {
+		t.Fatalf("flat CoV = %v", c)
+	}
+	noisy := mk(time.Second, 5, 15, 5, 15)
+	if c := CoV(noisy, 0, 4*time.Second); c <= 0.4 {
+		t.Fatalf("noisy CoV = %v, want > 0.4", c)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if j := JainIndex([]float64{10, 10, 10}); math.Abs(j-1) > 1e-9 {
+		t.Fatalf("equal Jain = %v", j)
+	}
+	if j := JainIndex([]float64{30, 0, 0}); math.Abs(j-1.0/3) > 1e-9 {
+		t.Fatalf("dominated Jain = %v", j)
+	}
+	if JainIndex(nil) != 0 || JainIndex([]float64{0, 0}) != 0 {
+		t.Fatal("degenerate Jain")
+	}
+}
+
+func TestAllocationError(t *testing.T) {
+	got := AllocationError([]float64{28, 12, 48}, []float64{30, 10, 50})
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("alloc error = %v, want 2", got)
+	}
+	if AllocationError(nil, []float64{1}) != 0 {
+		t.Fatal("empty achieved")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	total := mk(100 * time.Millisecond)
+	for i := 0; i < 40; i++ {
+		v := 90.0
+		if i < 10 {
+			v = float64(i) * 9
+		}
+		total.V = append(total.V, v)
+	}
+	p1 := mk(100 * time.Millisecond)
+	p2 := mk(100 * time.Millisecond)
+	for i := 0; i < 40; i++ {
+		p1.V = append(p1.V, 30)
+		p2.V = append(p2.V, 60)
+	}
+	s := Summarize("cubic", total, []*trace.Series{p1, p2}, 90, 60, 0.05, 500*time.Millisecond)
+	if s.Algorithm != "cubic" {
+		t.Fatal("name lost")
+	}
+	if !s.Converged {
+		t.Fatal("should converge")
+	}
+	if s.ConvergedAt != time.Second {
+		t.Fatalf("converged at %v, want 1s", s.ConvergedAt)
+	}
+	if s.PostCoV != 0 {
+		t.Fatalf("post CoV = %v, want 0 (flat tail)", s.PostCoV)
+	}
+	if len(s.PathMeans) != 2 || s.PathMeans[0] != 30 || s.PathMeans[1] != 60 {
+		t.Fatalf("path means = %v", s.PathMeans)
+	}
+	if s.Gap < 0 || s.Gap > 0.15 {
+		t.Fatalf("gap = %v", s.Gap)
+	}
+	// The greedy/Pareto level (60) is crossed during the ramp, before the
+	// optimum band.
+	if !s.ReachedPareto {
+		t.Fatal("Pareto level not detected")
+	}
+	if s.ParetoAt > s.ConvergedAt {
+		t.Fatalf("ParetoAt %v after ConvergedAt %v", s.ParetoAt, s.ConvergedAt)
+	}
+}
+
+// Property: Jain's index is always in [1/n, 1] for positive inputs.
+func TestQuickJainBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r) + 1
+		}
+		j := JainIndex(vals)
+		n := float64(len(vals))
+		return j >= 1/n-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: convergence time is monotone in the tolerance — a looser band
+// never converges later.
+func TestQuickConvergenceMonotoneInTol(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		s := mk(time.Second)
+		for _, r := range raw {
+			s.V = append(s.V, float64(r))
+		}
+		tight, okT := ConvergenceTime(s, 200, 0.1, 2*time.Second)
+		loose, okL := ConvergenceTime(s, 200, 0.5, 2*time.Second)
+		if okT && !okL {
+			return false
+		}
+		if okT && okL && loose > tight {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

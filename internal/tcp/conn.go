@@ -1,0 +1,361 @@
+package tcp
+
+import (
+	"fmt"
+	"time"
+
+	"mptcpsim/internal/cc"
+	"mptcpsim/internal/packet"
+	"mptcpsim/internal/sim"
+)
+
+// State is the connection state (the subset of RFC 793 the experiments
+// exercise; connections live for the duration of a run, so there is no
+// FIN/TIME-WAIT machinery).
+type State int
+
+// Connection states.
+const (
+	StateSynSent State = iota
+	StateSynReceived
+	StateEstablished
+	StateClosed
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateSynSent:
+		return "syn-sent"
+	case StateSynReceived:
+		return "syn-received"
+	case StateEstablished:
+		return "established"
+	case StateClosed:
+		return "closed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Stats counts per-connection events.
+type Stats struct {
+	SentSegments  uint64
+	SentBytes     uint64
+	Retransmits   uint64
+	RTOs          uint64
+	FastRecovery  uint64
+	AckedBytes    uint64
+	DeliveredData uint64
+	DupAcksSeen   uint64
+	AcksSent      uint64
+}
+
+// seg is a sender-side tracked segment awaiting acknowledgement. The
+// sacked/lost flags form the SACK scoreboard (RFC 6675); rtx records that
+// a retransmission of the segment is in flight.
+type seg struct {
+	seq    uint32
+	length int
+	sentAt sim.Time
+	rtx    bool
+	sacked bool
+	lost   bool
+	dss    *packet.DSS
+}
+
+// rseg is a receiver-side out-of-order segment.
+type rseg struct {
+	seq    uint32
+	length int
+	dss    *packet.DSS
+}
+
+// Conn is one TCP connection endpoint.
+type Conn struct {
+	host *Host
+	loop *sim.Loop
+	cfg  Config
+
+	state  State
+	local  packet.Endpoint
+	remote packet.Endpoint
+
+	// Flow is the congestion-control view registered with cfg.CC.
+	Flow cc.Flow
+
+	// Sender state.
+	iss      uint32
+	sndUna   uint32
+	sndNxt   uint32
+	peerRwnd uint32
+	peerMSS  int
+	mss      int // effective MSS = min(cfg.MSS, peerMSS)
+	rtx      []seg
+	rtxHead  int
+	dupAcks  int
+	inRec    bool
+	recover  uint32
+	sackOK   bool
+	hiSacked uint32
+	// RTT timing: one segment is timed at a time (RFC 6298 / Karn).
+	timing   bool
+	timedEnd uint32
+	timedAt  sim.Time
+	// Timestamps state (RFC 7323): tsOK after negotiation; peerTSval is
+	// the latest value to echo.
+	tsOK       bool
+	peerTSval  uint32
+	peerTSseen bool
+	rtt        rttEstimator
+	rtoTimer   *sim.Timer
+	backoff    uint
+	synSent    int
+	synTime    sim.Time
+
+	// Receiver state.
+	rcvNxt      uint32
+	ooo         []rseg
+	oooBytes    int
+	lastOOOSeq  uint32
+	ackPending  int
+	delAckTimer *sim.Timer
+
+	// Stats accumulates counters.
+	Stats Stats
+
+	onEstablished func(c *Conn)
+}
+
+func newConn(h *Host, cfg Config, local, remote packet.Endpoint) *Conn {
+	cfg = cfg.withDefaults()
+	c := &Conn{
+		host:    h,
+		loop:    h.loop,
+		cfg:     cfg,
+		local:   local,
+		remote:  remote,
+		peerMSS: cfg.MSS,
+		mss:     cfg.MSS,
+		rtt:     newRTTEstimator(cfg.MinRTO, cfg.MaxRTO),
+		// Until the peer advertises, assume a modest window.
+		peerRwnd: 65535,
+	}
+	c.Flow.MSS = cfg.MSS
+	c.Flow.ID = cfg.FlowID
+	return c
+}
+
+// State returns the connection state.
+func (c *Conn) State() State { return c.state }
+
+// Local and Remote return the endpoints.
+func (c *Conn) Local() packet.Endpoint  { return c.local }
+func (c *Conn) Remote() packet.Endpoint { return c.remote }
+
+// Tag returns the connection's forwarding tag.
+func (c *Conn) Tag() packet.Tag { return c.cfg.Tag }
+
+// SRTT returns the smoothed round-trip time estimate.
+func (c *Conn) SRTT() time.Duration { return c.rtt.SRTT() }
+
+// EffectiveMSS returns the negotiated maximum segment size.
+func (c *Conn) EffectiveMSS() int { return c.mss }
+
+// CwndBytes returns the current congestion window.
+func (c *Conn) CwndBytes() float64 { return c.Flow.Cwnd }
+
+// BytesInFlight returns outstanding unacknowledged bytes.
+func (c *Conn) BytesInFlight() int { return seqDiff(c.sndNxt, c.sndUna) }
+
+// startClient begins the three-way handshake.
+func (c *Conn) startClient() {
+	c.state = StateSynSent
+	c.iss = c.host.rng.Uint32()
+	c.sndUna = c.iss
+	c.sndNxt = c.iss + 1
+	c.sendSYN(false)
+}
+
+// startServer answers a received SYN.
+func (c *Conn) startServer(syn *packet.Packet) {
+	c.state = StateSynReceived
+	c.iss = c.host.rng.Uint32()
+	c.sndUna = c.iss
+	c.sndNxt = c.iss + 1
+	c.rcvNxt = syn.TCP.Seq + 1
+	c.notePeerOptions(syn.TCP)
+	c.sendSYN(true)
+}
+
+func (c *Conn) notePeerOptions(t *packet.TCP) {
+	if o, ok := t.Option(packet.KindMSS).(*packet.MSSOption); ok {
+		c.peerMSS = int(o.MSS)
+	}
+	if !c.cfg.DisableSACK && t.Option(packet.KindSACKPermitted) != nil {
+		c.sackOK = true
+	}
+	if c.cfg.Timestamps && t.Option(packet.KindTimestamps) != nil {
+		c.tsOK = true
+	}
+	if c.peerMSS < c.mss {
+		c.mss = c.peerMSS
+	}
+	c.Flow.MSS = c.mss
+	c.peerRwnd = t.Window
+}
+
+func (c *Conn) sendSYN(withAck bool) {
+	t := &packet.TCP{
+		SrcPort: c.local.Port,
+		DstPort: c.remote.Port,
+		Seq:     c.iss,
+		Flags:   packet.FlagSYN,
+		Window:  uint32(c.cfg.RcvBuf),
+		Options: append([]packet.Option{&packet.MSSOption{MSS: uint16(c.cfg.MSS)}}, c.cfg.SynOptions...),
+	}
+	if !c.cfg.DisableSACK {
+		t.Options = append(t.Options, &packet.SACKPermitted{})
+	}
+	if c.cfg.Timestamps {
+		t.Options = append(t.Options, &packet.Timestamps{TSval: c.tsNow(), TSecr: c.peerTSval})
+	}
+	if withAck {
+		t.Flags |= packet.FlagACK
+		t.Ack = c.rcvNxt
+	}
+	if c.synSent == 0 {
+		c.synTime = c.loop.Now()
+	}
+	c.transmit(t, 0)
+	c.synSent++
+	c.armRTO(c.rtt.RTO() << c.backoff)
+}
+
+// establish finishes the handshake on either side.
+func (c *Conn) establish() {
+	c.state = StateEstablished
+	c.backoff = 0
+	// Initial congestion state.
+	c.Flow.Cwnd = float64(c.cfg.InitialCwnd * c.mss)
+	c.Flow.Ssthresh = 1 << 30
+	if c.cfg.CC != nil {
+		c.cfg.CC.Register(&c.Flow, c.loop.Now())
+	}
+	if c.onEstablished != nil {
+		c.onEstablished(c)
+	}
+	c.trySend()
+}
+
+// Close tears the connection state down (no FIN exchange; the simulation
+// endpoints simply stop).
+func (c *Conn) Close() {
+	if c.state == StateClosed {
+		return
+	}
+	c.state = StateClosed
+	if c.cfg.CC != nil {
+		c.cfg.CC.Unregister(&c.Flow)
+	}
+	c.stopRTO()
+	if c.delAckTimer != nil {
+		c.delAckTimer.Stop()
+	}
+	delete(c.host.conns, connKey{c.local.Port, c.remote.Addr, c.remote.Port})
+}
+
+// Kick wakes the sender after its Source gains data.
+func (c *Conn) Kick() { c.trySend() }
+
+// receive dispatches an arriving segment by state.
+func (c *Conn) receive(pkt *packet.Packet) {
+	t := pkt.TCP
+	switch c.state {
+	case StateSynSent:
+		if t.Flags&(packet.FlagSYN|packet.FlagACK) == packet.FlagSYN|packet.FlagACK &&
+			t.Ack == c.iss+1 {
+			c.stopRTO()
+			c.rcvNxt = t.Seq + 1
+			c.sndUna = c.iss + 1
+			c.notePeerOptions(t)
+			if c.synSent == 1 {
+				// Karn's rule: sample only if the SYN was not retransmitted.
+				c.rtt.Sample(c.loop.Now().Sub(c.synTime))
+				c.syncFlowRTT()
+			}
+			c.sendPureAck()
+			c.establish()
+		}
+	case StateSynReceived:
+		if t.Flags&packet.FlagACK != 0 && t.Ack == c.iss+1 {
+			c.stopRTO()
+			c.sndUna = c.iss + 1
+			c.peerRwnd = t.Window
+			c.establish()
+			// The ACK may carry data already.
+			if pkt.PayloadLen > 0 {
+				c.processData(pkt)
+			}
+		}
+	case StateEstablished:
+		if c.tsOK {
+			c.noteTimestamps(t)
+		}
+		if t.Flags&packet.FlagACK != 0 {
+			c.processAck(pkt)
+		}
+		if pkt.PayloadLen > 0 {
+			c.processData(pkt)
+		}
+	case StateClosed:
+	}
+}
+
+func (c *Conn) syncFlowRTT() {
+	c.Flow.SRTT = c.rtt.SRTT()
+	c.Flow.MinRTT = c.rtt.MinRTT()
+}
+
+// tsNow is the RFC 7323 timestamp clock: microseconds of virtual time
+// (wraps after ~71 minutes, far beyond any experiment).
+func (c *Conn) tsNow() uint32 {
+	return uint32(c.loop.Now().Duration() / time.Microsecond)
+}
+
+// noteTimestamps records the peer's TSval for echoing and samples the RTT
+// from an echoed value of our clock.
+func (c *Conn) noteTimestamps(t *packet.TCP) {
+	o, ok := t.Option(packet.KindTimestamps).(*packet.Timestamps)
+	if !ok {
+		return
+	}
+	c.peerTSval = o.TSval
+	c.peerTSseen = true
+	if o.TSecr != 0 && t.Flags&packet.FlagACK != 0 {
+		rtt := time.Duration(c.tsNow()-o.TSecr) * time.Microsecond
+		if rtt > 0 && rtt < time.Minute {
+			c.rtt.Sample(rtt)
+			c.syncFlowRTT()
+		}
+	}
+}
+
+// transmit builds and sends a packet with payload length n.
+func (c *Conn) transmit(t *packet.TCP, n int) {
+	p := &packet.Packet{
+		IP: packet.IPv4{
+			Tag:   c.cfg.Tag,
+			TTL:   packet.DefaultTTL,
+			Proto: packet.ProtoTCP,
+			Src:   c.local.Addr,
+			Dst:   c.remote.Addr,
+			ID:    uint16(c.Stats.SentSegments),
+		},
+		TCP:        t,
+		PayloadLen: n,
+	}
+	c.Stats.SentSegments++
+	c.Stats.SentBytes += uint64(n)
+	c.host.node.Send(p)
+}

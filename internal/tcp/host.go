@@ -1,0 +1,151 @@
+package tcp
+
+import (
+	"fmt"
+
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/packet"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/topo"
+)
+
+// Host is the TCP stack bound to one network node. It owns the node's
+// ports: client connections get ephemeral ports, listeners accept incoming
+// connections, and arriving packets are demultiplexed to connections by
+// their full flow (so many subflows can target one listening port).
+type Host struct {
+	net  *netem.Network
+	node *netem.Node
+	loop *sim.Loop
+	rng  *sim.Rand
+
+	// Addr is the host's network address.
+	Addr packet.Addr
+
+	conns     map[connKey]*Conn
+	listeners map[packet.Port]*Listener
+	nextPort  packet.Port
+}
+
+type connKey struct {
+	localPort  packet.Port
+	remoteAddr packet.Addr
+	remotePort packet.Port
+}
+
+// NewHost attaches a TCP stack to the node, assigning it an address. The
+// rng seeds initial sequence numbers so runs stay reproducible.
+func NewHost(n *netem.Network, node topo.NodeID, rng *sim.Rand) *Host {
+	h := &Host{
+		net:       n,
+		node:      n.Node(node),
+		loop:      n.Loop,
+		rng:       rng,
+		Addr:      n.AssignAddr(node),
+		conns:     make(map[connKey]*Conn),
+		listeners: make(map[packet.Port]*Listener),
+		nextPort:  40000,
+	}
+	return h
+}
+
+// Node returns the underlying network node.
+func (h *Host) Node() *netem.Node { return h.node }
+
+// Listener accepts incoming connections on a port.
+type Listener struct {
+	host *Host
+	// Port is the listening port.
+	Port packet.Port
+	// ConfigFor returns the Config for an incoming connection; it runs
+	// before the SYN is answered, so it can install Sink/CC per subflow.
+	// The SYN's options are provided for MPTCP join matching.
+	ConfigFor func(synOpts []packet.Option, from packet.Endpoint) Config
+	// OnEstablished is invoked when an accepted connection completes its
+	// handshake.
+	OnEstablished func(c *Conn)
+}
+
+// Listen opens a listening port.
+func (h *Host) Listen(port packet.Port, l *Listener) error {
+	if _, dup := h.listeners[port]; dup {
+		return fmt.Errorf("tcp: port %d already listening on %s", port, h.node.Name)
+	}
+	l.host = h
+	l.Port = port
+	if err := h.node.Register(port, netem.HandlerFunc(h.deliver)); err != nil {
+		return err
+	}
+	h.listeners[port] = l
+	return nil
+}
+
+// Dial opens a client connection to raddr:rport and starts the handshake.
+// The returned Conn is in the SYN-SENT state; cfg.CC (if any) engages once
+// established.
+func (h *Host) Dial(cfg Config, raddr packet.Addr, rport packet.Port) (*Conn, error) {
+	lport, err := h.allocPort()
+	if err != nil {
+		return nil, err
+	}
+	c := newConn(h, cfg, packet.Endpoint{Addr: h.Addr, Port: lport},
+		packet.Endpoint{Addr: raddr, Port: rport})
+	h.conns[connKey{lport, raddr, rport}] = c
+	c.startClient()
+	return c, nil
+}
+
+func (h *Host) allocPort() (packet.Port, error) {
+	for i := 0; i < 65535; i++ {
+		p := h.nextPort
+		h.nextPort++
+		if h.nextPort == 0 {
+			h.nextPort = 40000
+		}
+		if _, used := h.listeners[p]; used {
+			continue
+		}
+		if err := h.node.Register(p, netem.HandlerFunc(h.deliver)); err == nil {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("tcp: no free ports on %s", h.node.Name)
+}
+
+// deliver demultiplexes an arriving TCP packet to its connection, or to a
+// listener for new SYNs.
+func (h *Host) deliver(pkt *packet.Packet) {
+	if pkt.TCP == nil {
+		return
+	}
+	key := connKey{
+		localPort:  pkt.TCP.DstPort,
+		remoteAddr: pkt.IP.Src,
+		remotePort: pkt.TCP.SrcPort,
+	}
+	if c, ok := h.conns[key]; ok {
+		c.receive(pkt)
+		return
+	}
+	l, ok := h.listeners[pkt.TCP.DstPort]
+	if !ok || pkt.TCP.Flags&packet.FlagSYN == 0 || pkt.TCP.Flags&packet.FlagACK != 0 {
+		return // no connection and not a fresh SYN: drop silently
+	}
+	from := packet.Endpoint{Addr: pkt.IP.Src, Port: pkt.TCP.SrcPort}
+	cfg := Config{}
+	if l.ConfigFor != nil {
+		cfg = l.ConfigFor(pkt.TCP.Options, from)
+	}
+	// The accepted connection answers along the same tag the SYN carried,
+	// so ACKs retrace the subflow's path in reverse.
+	if cfg.Tag == packet.TagNone {
+		cfg.Tag = pkt.IP.Tag
+	}
+	c := newConn(h, cfg, packet.Endpoint{Addr: h.Addr, Port: l.Port}, from)
+	c.onEstablished = l.OnEstablished
+	h.conns[connKey{l.Port, from.Addr, from.Port}] = c
+	c.startServer(pkt)
+}
+
+// Loop returns the host's event loop, for layers built on top (MPTCP).
+func (h *Host) Loop() *sim.Loop { return h.loop }

@@ -1,0 +1,171 @@
+package tcp
+
+import (
+	"sort"
+
+	"mptcpsim/internal/packet"
+	"mptcpsim/internal/unit"
+)
+
+// advertisedWindow computes the receive window to advertise. In-order data
+// is consumed immediately by the Sink (a fast application reader), so the
+// whole buffer is free relative to rcvNxt; out-of-order segments occupy
+// sequence space *within* the advertised window and do not shrink it (as in
+// real stacks — shrinking here would make duplicate ACKs carry changing
+// windows and defeat the sender's dupACK counting).
+func (c *Conn) advertisedWindow() uint32 {
+	return uint32(c.cfg.RcvBuf)
+}
+
+// processData handles the payload of an arriving segment.
+func (c *Conn) processData(pkt *packet.Packet) {
+	t := pkt.TCP
+	n := pkt.PayloadLen
+	seq := t.Seq
+	var dss *packet.DSS
+	if t != nil {
+		dss = t.DSS()
+	}
+
+	switch {
+	case seqLEQ(seq+uint32(n), c.rcvNxt):
+		// Entirely old: a retransmission the ACK for which was lost.
+		c.sendPureAck()
+	case seqGT(seq, c.rcvNxt):
+		// Out of order: park it and send an immediate duplicate ACK
+		// (RFC 5681 §4.2) so the sender's dupACK counter advances.
+		c.storeOOO(seq, n, dss)
+		c.sendPureAck()
+	default:
+		// In-order (seq == rcvNxt for our aligned senders).
+		hadGap := len(c.ooo) > 0
+		c.rcvNxt = seq + uint32(n)
+		c.deliverData(n, dss)
+		c.drainOOO()
+		c.ackPending++
+		if hadGap {
+			// RFC 5681 §4.2: ACK immediately when a segment fills a gap,
+			// so the sender learns of the repair without delack latency.
+			c.sendPureAck()
+		} else if c.ackPending >= c.cfg.DelAckCount {
+			c.sendPureAck()
+		} else if c.delAckTimer == nil || !c.delAckTimer.Pending() {
+			c.delAckTimer = c.loop.Schedule(c.cfg.DelAckTimeout, func() {
+				if c.ackPending > 0 {
+					c.sendPureAck()
+				}
+			})
+		}
+	}
+}
+
+func (c *Conn) deliverData(n int, dss *packet.DSS) {
+	c.Stats.DeliveredData += uint64(n)
+	if c.cfg.Sink != nil {
+		c.cfg.Sink.OnData(n, dss)
+	}
+}
+
+// storeOOO parks an out-of-order segment, ignoring exact duplicates.
+func (c *Conn) storeOOO(seq uint32, n int, dss *packet.DSS) {
+	c.lastOOOSeq = seq
+	i := sort.Search(len(c.ooo), func(i int) bool { return seqGEQ(c.ooo[i].seq, seq) })
+	if i < len(c.ooo) && c.ooo[i].seq == seq {
+		return // duplicate
+	}
+	if unit.ByteSize(c.oooBytes+n) > c.cfg.RcvBuf {
+		return // buffer full: arriving OOO data is dropped silently
+	}
+	c.ooo = append(c.ooo, rseg{})
+	copy(c.ooo[i+1:], c.ooo[i:])
+	c.ooo[i] = rseg{seq: seq, length: n, dss: dss}
+	c.oooBytes += n
+}
+
+// drainOOO delivers any parked segments made contiguous by rcvNxt.
+func (c *Conn) drainOOO() {
+	for len(c.ooo) > 0 {
+		s := c.ooo[0]
+		if seqGT(s.seq, c.rcvNxt) {
+			break
+		}
+		c.ooo = c.ooo[1:]
+		c.oooBytes -= s.length
+		if seqLEQ(s.seq+uint32(s.length), c.rcvNxt) {
+			continue // stale overlap
+		}
+		c.rcvNxt = s.seq + uint32(s.length)
+		c.deliverData(s.length, s.dss)
+	}
+}
+
+// sendPureAck emits an immediate acknowledgement (cancelling any delayed
+// ACK) carrying the connection-level data ACK when a Sink provides one.
+func (c *Conn) sendPureAck() {
+	c.ackPending = 0
+	if c.delAckTimer != nil {
+		c.delAckTimer.Stop()
+	}
+	t := &packet.TCP{
+		SrcPort: c.local.Port,
+		DstPort: c.remote.Port,
+		Seq:     c.sndNxt,
+		Ack:     c.rcvNxt,
+		Flags:   packet.FlagACK,
+		Window:  c.advertisedWindow(),
+	}
+	// Option-space budget: 40 bytes. Timestamps (12 padded) and the MPTCP
+	// data ACK (12) squeeze the SACK blocks, as on real stacks.
+	budget := 40
+	if c.tsOK {
+		t.Options = append(t.Options, &packet.Timestamps{TSval: c.tsNow(), TSecr: c.peerTSval})
+		budget -= 12
+	}
+	if ack, ok := c.dataAck(); ok {
+		t.Options = append(t.Options, &packet.DSS{HasAck: true, DataAck: ack})
+		budget -= 12
+	}
+	if blocks := c.sackBlocks(); len(blocks) > 0 {
+		if max := (budget - 2) / 8; len(blocks) > max {
+			if max <= 0 {
+				blocks = nil
+			} else {
+				blocks = blocks[:max]
+			}
+		}
+		if len(blocks) > 0 {
+			t.Options = append(t.Options, &packet.SACK{Blocks: blocks})
+		}
+	}
+	c.Stats.AcksSent++
+	c.transmit(t, 0)
+}
+
+// sackBlocks renders the out-of-order queue as SACK blocks: contiguous
+// ranges, the one containing the most recent arrival first (RFC 2018), at
+// most MaxSACKBlocks.
+func (c *Conn) sackBlocks() [][2]uint32 {
+	if !c.sackOK || len(c.ooo) == 0 {
+		return nil
+	}
+	var ranges [][2]uint32
+	for _, s := range c.ooo {
+		end := s.seq + uint32(s.length)
+		if n := len(ranges); n > 0 && ranges[n-1][1] == s.seq {
+			ranges[n-1][1] = end
+			continue
+		}
+		ranges = append(ranges, [2]uint32{s.seq, end})
+	}
+	// Most recently updated block first.
+	for i, r := range ranges {
+		if seqGEQ(c.lastOOOSeq, r[0]) && seqLT(c.lastOOOSeq, r[1]) {
+			ranges[0], ranges[i] = ranges[i], ranges[0]
+			break
+		}
+	}
+	if len(ranges) > packet.MaxSACKBlocks {
+		ranges = ranges[:packet.MaxSACKBlocks]
+	}
+	return ranges
+}

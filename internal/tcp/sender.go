@@ -1,0 +1,456 @@
+package tcp
+
+import (
+	"time"
+
+	"mptcpsim/internal/packet"
+	"mptcpsim/internal/sim"
+)
+
+// effectiveWindow returns the sending window in bytes: the congestion
+// window limited by the peer's advertised window. Without SACK, limited
+// transmit (RFC 3042) adds headroom on the first two duplicate ACKs and
+// NewReno inflation is folded into Cwnd by processAck; with SACK neither
+// is needed because the pipe estimate shrinks as SACK blocks arrive.
+func (c *Conn) effectiveWindow() int {
+	wnd := int(c.Flow.Cwnd)
+	if !c.sackOK && !c.inRec && c.dupAcks > 0 && c.dupAcks < 3 {
+		wnd += c.dupAcks * c.mss
+	}
+	if pw := int(c.peerRwnd); pw < wnd {
+		wnd = pw
+	}
+	return wnd
+}
+
+// outstanding estimates the bytes currently in the network: the SACK
+// "pipe" of RFC 6675 when available, else plain flight size.
+func (c *Conn) outstanding() int {
+	if !c.sackOK {
+		return c.BytesInFlight()
+	}
+	p := 0
+	for i := c.rtxHead; i < len(c.rtx); i++ {
+		s := &c.rtx[i]
+		switch {
+		case s.sacked:
+			// Left the network.
+		case s.lost:
+			if s.rtx {
+				p += s.length // the retransmission is in flight
+			}
+		default:
+			p += s.length
+		}
+	}
+	return p
+}
+
+// trySend pulls data from the Source while window space allows.
+func (c *Conn) trySend() {
+	if c.state != StateEstablished || c.cfg.Source == nil {
+		return
+	}
+	for {
+		avail := c.effectiveWindow() - c.outstanding()
+		if avail < 1 {
+			return
+		}
+		chunk := c.mss
+		if avail < chunk {
+			// Avoid silly-window segments unless nothing is outstanding.
+			if c.BytesInFlight() > 0 {
+				return
+			}
+			chunk = avail
+		}
+		n, dss := c.cfg.Source.Next(chunk)
+		if n <= 0 {
+			return
+		}
+		if n > chunk {
+			n = chunk
+		}
+		if dss != nil && dss.HasMap {
+			// The mapping's subflow-relative sequence is the stream offset
+			// of this segment; the Source cannot know it, the sender does.
+			dss.SubflowSeq = c.sndNxt - (c.iss + 1)
+			dss.DataLen = uint16(n)
+		}
+		c.sendData(c.sndNxt, n, dss, false)
+		c.sndNxt += uint32(n)
+		c.rtx = append(c.rtx, seg{seq: c.sndNxt - uint32(n), length: n, sentAt: c.loop.Now(), dss: dss})
+		if !c.timing {
+			// Time this segment for the next RTT sample (one at a time).
+			c.timing = true
+			c.timedEnd = c.sndNxt
+			c.timedAt = c.loop.Now()
+		}
+		if c.rtoTimer == nil || !c.rtoTimer.Pending() {
+			c.armRTO(c.rtt.RTO())
+		}
+	}
+}
+
+// sendData transmits one data segment (fresh or retransmission).
+func (c *Conn) sendData(seq uint32, n int, dss *packet.DSS, isRtx bool) {
+	t := &packet.TCP{
+		SrcPort: c.local.Port,
+		DstPort: c.remote.Port,
+		Seq:     seq,
+		Ack:     c.rcvNxt,
+		Flags:   packet.FlagACK | packet.FlagPSH,
+		Window:  c.advertisedWindow(),
+	}
+	if c.tsOK {
+		t.Options = append(t.Options, &packet.Timestamps{TSval: c.tsNow(), TSecr: c.peerTSval})
+	}
+	if dss != nil {
+		d := *dss // copy: the option is serialised per packet
+		if ack, ok := c.dataAck(); ok {
+			d.HasAck = true
+			d.DataAck = ack
+		}
+		t.Options = append(t.Options, &d)
+	}
+	if isRtx {
+		c.Stats.Retransmits++
+		// Karn's rule: a retransmission invalidates the running RTT timing.
+		c.timing = false
+	}
+	c.transmit(t, n)
+}
+
+func (c *Conn) dataAck() (uint64, bool) {
+	if c.cfg.Sink == nil {
+		return 0, false
+	}
+	return c.cfg.Sink.DataAck()
+}
+
+// processAck handles the acknowledgement fields of an arriving segment.
+func (c *Conn) processAck(pkt *packet.Packet) {
+	t := pkt.TCP
+	ack := t.Ack
+	now := c.loop.Now()
+	prevRwnd := c.peerRwnd
+	c.peerRwnd = t.Window
+
+	if seqGT(ack, c.sndNxt) {
+		return // acks data never sent; ignore
+	}
+
+	sackAdvanced := false
+	if c.sackOK {
+		if o, ok := t.Option(packet.KindSACK).(*packet.SACK); ok {
+			sackAdvanced = c.applySACK(o.Blocks)
+		}
+	}
+
+	cumAdvanced := seqGT(ack, c.sndUna)
+	if cumAdvanced {
+		acked := seqDiff(ack, c.sndUna)
+		c.sndUna = ack
+		c.Stats.AckedBytes += uint64(acked)
+		c.backoff = 0
+		c.popAcked(ack, now)
+		c.dupAcks = 0
+		c.Flow.InFlight = c.outstanding()
+
+		if c.inRec {
+			if seqGEQ(ack, c.recover) {
+				// Full acknowledgement: recovery ends.
+				c.inRec = false
+				if c.Flow.Cwnd > c.Flow.Ssthresh {
+					c.Flow.Cwnd = c.Flow.Ssthresh
+				}
+			} else if !c.sackOK {
+				// NewReno partial ACK: retransmit the next hole, deflate
+				// the inflation by the amount acked, re-inflate one MSS.
+				c.retransmitFront()
+				c.Flow.Cwnd -= float64(acked)
+				if c.Flow.Cwnd < float64(c.mss) {
+					c.Flow.Cwnd = float64(c.mss)
+				}
+				c.Flow.Cwnd += float64(c.mss)
+				if c.Flow.InSlowStart() {
+					inc := acked
+					if inc > 2*c.mss {
+						inc = 2 * c.mss
+					}
+					c.Flow.Cwnd += float64(inc)
+				}
+				c.armRTO(c.rtt.RTO())
+			} else {
+				// SACK partial ACK: the scoreboard drives retransmission.
+				// After an RTO the repair runs in slow start (RFC 5681), so
+				// the window must grow or a large scoreboard drains at one
+				// segment per RTT.
+				if c.Flow.InSlowStart() {
+					inc := acked
+					if inc > 2*c.mss {
+						inc = 2 * c.mss
+					}
+					c.Flow.Cwnd += float64(inc)
+				}
+				c.armRTO(c.rtt.RTO())
+			}
+		} else if c.cfg.CC != nil {
+			c.cfg.CC.OnAck(&c.Flow, acked, now)
+		}
+
+		if c.BytesInFlight() == 0 {
+			c.stopRTO()
+		} else {
+			c.armRTO(c.rtt.RTO())
+		}
+	} else if ack == c.sndUna && c.BytesInFlight() > 0 && pkt.PayloadLen == 0 &&
+		t.Flags&packet.FlagSYN == 0 && (prevRwnd == t.Window || c.sackOK) {
+		// Duplicate ACK.
+		c.dupAcks++
+		c.Stats.DupAcksSeen++
+		if !c.sackOK {
+			if c.inRec {
+				// NewReno window inflation: each dup ACK signals a departure.
+				c.Flow.Cwnd += float64(c.mss)
+			} else if c.dupAcks == 3 {
+				c.enterRecovery(now)
+			}
+		}
+	}
+
+	if c.sackOK {
+		// Scoreboard maintenance: mark losses, enter recovery, retransmit.
+		if c.markLost() && !c.inRec {
+			c.enterRecovery(now)
+		} else if sackAdvanced || cumAdvanced {
+			c.sendScoreboard()
+		}
+		// Fallback: three duplicate ACKs without SACK progress still
+		// indicate the head segment is gone (e.g. single-segment flight).
+		if !c.inRec && c.dupAcks >= 3 {
+			if c.rtxHead < len(c.rtx) {
+				c.rtx[c.rtxHead].lost = true
+				c.rtx[c.rtxHead].rtx = false
+			}
+			c.enterRecovery(now)
+		}
+	}
+	c.trySend()
+}
+
+// applySACK marks segments covered by the peer's SACK blocks; it reports
+// whether any new byte was sacked.
+func (c *Conn) applySACK(blocks [][2]uint32) bool {
+	changed := false
+	for _, b := range blocks {
+		start, end := b[0], b[1]
+		if !seqLT(start, end) {
+			continue
+		}
+		for i := c.rtxHead; i < len(c.rtx); i++ {
+			s := &c.rtx[i]
+			if s.sacked {
+				continue
+			}
+			if seqGEQ(s.seq, start) && seqLEQ(s.seq+uint32(s.length), end) {
+				s.sacked = true
+				s.lost = false
+				changed = true
+				if seqGT(s.seq+uint32(s.length), c.hiSacked) {
+					c.hiSacked = s.seq + uint32(s.length)
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// markLost applies the RFC 6675 loss heuristic: a hole is lost once at
+// least a dupACK-threshold's worth of bytes above it have been SACKed. It
+// reports whether any segment was newly marked.
+func (c *Conn) markLost() bool {
+	changed := false
+	sackedAbove := 0
+	thresh := 3 * c.mss
+	for i := len(c.rtx) - 1; i >= c.rtxHead; i-- {
+		s := &c.rtx[i]
+		if s.sacked {
+			sackedAbove += s.length
+			continue
+		}
+		if !s.lost && sackedAbove >= thresh {
+			s.lost = true
+			s.rtx = false
+			changed = true
+		}
+	}
+	return changed
+}
+
+// sendScoreboard retransmits lost segments while the pipe allows (the
+// SACK-based recovery transmission rule).
+func (c *Conn) sendScoreboard() {
+	if c.state != StateEstablished {
+		return
+	}
+	for {
+		if c.outstanding() >= c.effectiveWindow() {
+			return
+		}
+		var hole *seg
+		// A retransmission that has itself been outstanding for a full RTO
+		// is presumed lost again and re-sent — a per-segment soft timeout
+		// that repairs double losses without collapsing the window. SRTT
+		// lags queue growth too much for a tighter (RACK-style) bound.
+		rearm := c.rtt.RTO()
+		now := c.loop.Now()
+		for i := c.rtxHead; i < len(c.rtx); i++ {
+			s := &c.rtx[i]
+			if !s.lost || s.sacked {
+				continue
+			}
+			if !s.rtx || now.Sub(s.sentAt) > rearm {
+				hole = s
+				break
+			}
+		}
+		if hole == nil {
+			return // no repairable holes; trySend handles new data
+		}
+		hole.rtx = true
+		hole.sentAt = c.loop.Now()
+		c.sendData(hole.seq, hole.length, hole.dss, true)
+	}
+}
+
+// enterRecovery starts a loss-recovery episode: NewReno fast retransmit
+// without SACK, scoreboard-driven recovery with it.
+func (c *Conn) enterRecovery(now sim.Time) {
+	c.inRec = true
+	c.recover = c.sndNxt
+	c.Stats.FastRecovery++
+	c.Flow.InFlight = c.outstanding()
+	if c.cfg.CC != nil {
+		c.cfg.CC.OnLoss(&c.Flow, now)
+	} else {
+		c.Flow.Ssthresh = c.Flow.Cwnd / 2
+	}
+	if c.sackOK {
+		// Conservative SACK recovery: halve immediately; pipe gating
+		// meters retransmissions.
+		c.Flow.Cwnd = c.Flow.Ssthresh
+		c.sendScoreboard()
+	} else {
+		// NewReno: inflate by the three duplicate ACKs and resend the head.
+		c.Flow.Cwnd = c.Flow.Ssthresh + float64(3*c.mss)
+		c.retransmitFront()
+	}
+	c.armRTO(c.rtt.RTO())
+}
+
+// popAcked removes fully acknowledged segments and samples the RTT from
+// the timed segment (one sample at a time; Karn's rule cancels timing on
+// retransmissions, so repair-delayed cumulative ACKs cannot inflate SRTT).
+func (c *Conn) popAcked(ack uint32, now sim.Time) {
+	if c.timing && seqGEQ(ack, c.timedEnd) {
+		c.rtt.Sample(now.Sub(c.timedAt))
+		c.syncFlowRTT()
+		c.timing = false
+	}
+	for c.rtxHead < len(c.rtx) {
+		s := &c.rtx[c.rtxHead]
+		end := s.seq + uint32(s.length)
+		if !seqLEQ(end, ack) {
+			break
+		}
+		c.rtxHead++
+	}
+	if c.rtxHead == len(c.rtx) {
+		c.rtx = c.rtx[:0]
+		c.rtxHead = 0
+	} else if c.rtxHead > 1024 && c.rtxHead*2 >= len(c.rtx) {
+		c.rtx = append(c.rtx[:0], c.rtx[c.rtxHead:]...)
+		c.rtxHead = 0
+	}
+}
+
+// retransmitFront resends the first unacknowledged segment (NewReno path).
+func (c *Conn) retransmitFront() {
+	if c.rtxHead >= len(c.rtx) {
+		return
+	}
+	s := &c.rtx[c.rtxHead]
+	s.rtx = true
+	s.sentAt = c.loop.Now()
+	c.sendData(s.seq, s.length, s.dss, true)
+}
+
+// armRTO (re)starts the retransmission timer.
+func (c *Conn) armRTO(d time.Duration) {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Stop()
+	}
+	c.rtoTimer = c.loop.Schedule(d, c.onRTO)
+}
+
+func (c *Conn) stopRTO() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Stop()
+		c.rtoTimer = nil
+	}
+}
+
+// onRTO fires on retransmission timeout.
+func (c *Conn) onRTO() {
+	switch c.state {
+	case StateSynSent, StateSynReceived:
+		if c.synSent > synRetries {
+			c.Close()
+			return
+		}
+		c.backoff++
+		c.sendSYN(c.state == StateSynReceived)
+		return
+	case StateEstablished:
+	default:
+		return
+	}
+	if c.BytesInFlight() == 0 {
+		return
+	}
+	c.Stats.RTOs++
+	c.Flow.InFlight = c.outstanding()
+	if c.cfg.CC != nil {
+		c.cfg.CC.OnRTO(&c.Flow, c.loop.Now())
+	} else {
+		c.Flow.Ssthresh = c.Flow.Cwnd / 2
+		c.Flow.Cwnd = float64(c.mss)
+	}
+	// Enter a recovery episode; every un-SACKed segment is presumed lost
+	// and will be retransmitted as the window reopens.
+	c.inRec = true
+	c.recover = c.sndNxt
+	c.dupAcks = 0
+	for i := c.rtxHead; i < len(c.rtx); i++ {
+		s := &c.rtx[i]
+		if !s.sacked {
+			s.lost = true
+			s.rtx = false
+		}
+	}
+	if c.sackOK {
+		c.sendScoreboard()
+	} else {
+		c.retransmitFront()
+	}
+	c.backoff++
+	if c.backoff > 16 {
+		c.backoff = 16
+	}
+	rto := c.rtt.RTO() << c.backoff
+	if rto > c.cfg.MaxRTO {
+		rto = c.cfg.MaxRTO
+	}
+	c.armRTO(rto)
+}

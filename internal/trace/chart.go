@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// ChartOptions controls the ASCII renderer.
+type ChartOptions struct {
+	// Width and Height are the plot area size in characters (defaults
+	// 72x18).
+	Width, Height int
+	// YMax fixes the y-axis maximum; 0 auto-scales.
+	YMax float64
+	// YLabel and Title annotate the chart.
+	YLabel, Title string
+	// HLines draws horizontal reference lines at the given values (e.g.
+	// the LP optimum).
+	HLines []float64
+}
+
+// seriesMarks are the glyphs used per series, in order.
+var seriesMarks = []byte{'1', '2', '3', 'T', '4', '5', '6', '7'}
+
+// Chart renders the series as an ASCII line chart — the terminal stand-in
+// for the paper's throughput figures.
+func Chart(w io.Writer, opts ChartOptions, series ...*Series) error {
+	if opts.Width <= 0 {
+		opts.Width = 72
+	}
+	if opts.Height <= 0 {
+		opts.Height = 18
+	}
+	ymax := opts.YMax
+	var tmaxSec float64
+	for _, s := range series {
+		for i, v := range s.V {
+			if opts.YMax == 0 && v > ymax {
+				ymax = v
+			}
+			if t := s.TimeAt(i); t > tmaxSec {
+				tmaxSec = t
+			}
+		}
+	}
+	if ymax <= 0 {
+		ymax = 1
+	}
+	ymax *= 1.05
+	grid := make([][]byte, opts.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	// Reference lines first so data overwrites them.
+	for _, h := range opts.HLines {
+		if r, ok := rowOf(h, ymax, opts.Height); ok {
+			for x := 0; x < opts.Width; x++ {
+				grid[r][x] = '-'
+			}
+		}
+	}
+	for si, s := range series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i, v := range s.V {
+			x := 0
+			if tmaxSec > 0 {
+				x = int(s.TimeAt(i) / tmaxSec * float64(opts.Width-1))
+			}
+			if x < 0 || x >= opts.Width {
+				continue
+			}
+			if r, ok := rowOf(v, ymax, opts.Height); ok {
+				grid[r][x] = mark
+			}
+		}
+	}
+	if opts.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", opts.Title); err != nil {
+			return err
+		}
+	}
+	axisW := 8
+	for r := 0; r < opts.Height; r++ {
+		yTop := ymax * float64(opts.Height-r) / float64(opts.Height)
+		label := ""
+		if r%4 == 0 {
+			label = fmt.Sprintf("%7.1f", yTop)
+		}
+		if _, err := fmt.Fprintf(w, "%*s |%s\n", axisW-1, label, string(grid[r])); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%*s +%s\n", axisW-1, "", strings.Repeat("-", opts.Width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%*s 0%*s%.2fs\n", axisW-1, "", opts.Width-6, "", tmaxSec); err != nil {
+		return err
+	}
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", seriesMarks[si%len(seriesMarks)], s.Name))
+	}
+	if opts.YLabel != "" {
+		legend = append(legend, "y: "+opts.YLabel)
+	}
+	_, err := fmt.Fprintf(w, "%*s %s\n", axisW-1, "", strings.Join(legend, "  "))
+	return err
+}
+
+// rowOf maps a value to a grid row (0 = top).
+func rowOf(v, ymax float64, height int) (int, bool) {
+	if math.IsNaN(v) || v < 0 || v > ymax {
+		return 0, false
+	}
+	r := height - 1 - int(v/ymax*float64(height))
+	if r < 0 {
+		r = 0
+	}
+	if r >= height {
+		r = height - 1
+	}
+	return r, true
+}

@@ -1,0 +1,138 @@
+// Package unit defines the physical quantities used throughout the
+// simulator: link rates in bits per second and data sizes in bytes, with
+// parsing, formatting and the time arithmetic that links need (how long a
+// packet occupies a transmitter, how many bytes fit in an interval).
+package unit
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Rate is a data rate in bits per second.
+type Rate int64
+
+// Rate constants in conventional decimal (SI) units, as used for link
+// capacities ("40 Mbps" means 40*10^6 bits per second).
+const (
+	BitPerSecond Rate = 1
+	Kbps              = 1000 * BitPerSecond
+	Mbps              = 1000 * Kbps
+	Gbps              = 1000 * Mbps
+)
+
+// Mbit returns the rate expressed in megabits per second.
+func (r Rate) Mbit() float64 { return float64(r) / float64(Mbps) }
+
+// TxTime returns how long a transmitter at rate r needs to serialise n
+// bytes. A zero or negative rate means an infinitely fast link.
+func (r Rate) TxTime(n ByteSize) time.Duration {
+	if r <= 0 || n <= 0 {
+		return 0
+	}
+	bits := float64(n) * 8
+	return time.Duration(bits / float64(r) * float64(time.Second))
+}
+
+// Bytes returns how many whole bytes rate r delivers in duration d.
+func (r Rate) Bytes(d time.Duration) ByteSize {
+	if r <= 0 || d <= 0 {
+		return 0
+	}
+	return ByteSize(float64(r) / 8 * d.Seconds())
+}
+
+// String formats the rate with its natural unit, e.g. "40Mbps".
+func (r Rate) String() string {
+	switch {
+	case r >= Gbps && r%Gbps == 0:
+		return fmt.Sprintf("%dGbps", r/Gbps)
+	case r >= Mbps && r%Mbps == 0:
+		return fmt.Sprintf("%dMbps", r/Mbps)
+	case r >= Kbps && r%Kbps == 0:
+		return fmt.Sprintf("%dKbps", r/Kbps)
+	default:
+		return fmt.Sprintf("%dbps", int64(r))
+	}
+}
+
+// ParseRate parses strings like "40Mbps", "1.5Gbps", "250Kbps" or "9600bps"
+// (unit suffix case-insensitive, "bit/s" also accepted).
+func ParseRate(s string) (Rate, error) {
+	orig := s
+	s = strings.TrimSpace(strings.ToLower(s))
+	s = strings.ReplaceAll(s, "bit/s", "bps")
+	mult := float64(1)
+	switch {
+	case strings.HasSuffix(s, "gbps"):
+		mult, s = float64(Gbps), strings.TrimSuffix(s, "gbps")
+	case strings.HasSuffix(s, "mbps"):
+		mult, s = float64(Mbps), strings.TrimSuffix(s, "mbps")
+	case strings.HasSuffix(s, "kbps"):
+		mult, s = float64(Kbps), strings.TrimSuffix(s, "kbps")
+	case strings.HasSuffix(s, "bps"):
+		s = strings.TrimSuffix(s, "bps")
+	default:
+		return 0, fmt.Errorf("unit: rate %q missing unit (bps/Kbps/Mbps/Gbps)", orig)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("unit: invalid rate %q", orig)
+	}
+	return Rate(v * mult), nil
+}
+
+// ByteSize is a size in bytes.
+type ByteSize int64
+
+// Size constants in binary (IEC) units, used for buffers and windows.
+const (
+	Byte ByteSize = 1
+	KB            = 1024 * Byte
+	MB            = 1024 * KB
+	GB            = 1024 * MB
+)
+
+// String formats a size with its natural unit, e.g. "64KB".
+func (b ByteSize) String() string {
+	switch {
+	case b >= GB && b%GB == 0:
+		return fmt.Sprintf("%dGB", b/GB)
+	case b >= MB && b%MB == 0:
+		return fmt.Sprintf("%dMB", b/MB)
+	case b >= KB && b%KB == 0:
+		return fmt.Sprintf("%dKB", b/KB)
+	default:
+		return fmt.Sprintf("%dB", int64(b))
+	}
+}
+
+// ParseByteSize parses strings like "64KB", "1.5MB", "1500B" or "1500".
+func ParseByteSize(s string) (ByteSize, error) {
+	orig := s
+	s = strings.TrimSpace(strings.ToLower(s))
+	mult := float64(1)
+	switch {
+	case strings.HasSuffix(s, "gb"):
+		mult, s = float64(GB), strings.TrimSuffix(s, "gb")
+	case strings.HasSuffix(s, "mb"):
+		mult, s = float64(MB), strings.TrimSuffix(s, "mb")
+	case strings.HasSuffix(s, "kb"):
+		mult, s = float64(KB), strings.TrimSuffix(s, "kb")
+	case strings.HasSuffix(s, "b"):
+		s = strings.TrimSuffix(s, "b")
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("unit: invalid size %q", orig)
+	}
+	return ByteSize(v * mult), nil
+}
+
+// BDP returns the bandwidth-delay product for rate r and round-trip time
+// rtt, the canonical router buffer size.
+func BDP(r Rate, rtt time.Duration) ByteSize {
+	return r.Bytes(rtt)
+}

@@ -1,0 +1,153 @@
+package unit
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTxTime(t *testing.T) {
+	tests := []struct {
+		rate  Rate
+		bytes ByteSize
+		want  time.Duration
+	}{
+		{40 * Mbps, 1500, time.Duration(1500 * 8 * 1e9 / 40e6)}, // 300µs
+		{100 * Mbps, 1500, 120 * time.Microsecond},
+		{1 * Gbps, 1500, 12 * time.Microsecond},
+		{0, 1500, 0},
+		{10 * Mbps, 0, 0},
+	}
+	for _, tc := range tests {
+		if got := tc.rate.TxTime(tc.bytes); got != tc.want {
+			t.Errorf("%v.TxTime(%d) = %v, want %v", tc.rate, tc.bytes, got, tc.want)
+		}
+	}
+}
+
+func TestBytesInInterval(t *testing.T) {
+	if got := (40 * Mbps).Bytes(time.Second); got != 5000000 {
+		t.Errorf("40Mbps over 1s = %d bytes, want 5000000", got)
+	}
+	if got := (100 * Mbps).Bytes(100 * time.Millisecond); got != 1250000 {
+		t.Errorf("100Mbps over 100ms = %d, want 1250000", got)
+	}
+}
+
+func TestRateString(t *testing.T) {
+	tests := map[Rate]string{
+		40 * Mbps:   "40Mbps",
+		2 * Gbps:    "2Gbps",
+		250 * Kbps:  "250Kbps",
+		999:         "999bps",
+		1500 * Kbps: "1500Kbps",
+	}
+	for r, want := range tests {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(r), got, want)
+		}
+	}
+}
+
+func TestParseRate(t *testing.T) {
+	good := map[string]Rate{
+		"40Mbps":   40 * Mbps,
+		"40 mbps":  40 * Mbps,
+		"1.5Gbps":  1500 * Mbps,
+		"250kbps":  250 * Kbps,
+		"9600bps":  9600,
+		"10Mbit/s": 10 * Mbps,
+	}
+	for s, want := range good {
+		got, err := ParseRate(s)
+		if err != nil {
+			t.Errorf("ParseRate(%q): %v", s, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseRate(%q) = %v, want %v", s, got, want)
+		}
+	}
+	for _, bad := range []string{"", "40", "fast", "-1Mbps", "Mbps"} {
+		if _, err := ParseRate(bad); err == nil {
+			t.Errorf("ParseRate(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseByteSize(t *testing.T) {
+	good := map[string]ByteSize{
+		"64KB":  64 * KB,
+		"1MB":   MB,
+		"1500B": 1500,
+		"1500":  1500,
+		"1.5KB": 1536,
+	}
+	for s, want := range good {
+		got, err := ParseByteSize(s)
+		if err != nil {
+			t.Errorf("ParseByteSize(%q): %v", s, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseByteSize(%q) = %v, want %v", s, got, want)
+		}
+	}
+	for _, bad := range []string{"", "huge", "-5KB"} {
+		if _, err := ParseByteSize(bad); err == nil {
+			t.Errorf("ParseByteSize(%q) should fail", bad)
+		}
+	}
+}
+
+func TestByteSizeString(t *testing.T) {
+	tests := map[ByteSize]string{
+		64 * KB: "64KB",
+		2 * MB:  "2MB",
+		3 * GB:  "3GB",
+		1500:    "1500B",
+		1536:    "1536B", // not an exact KB multiple of the formatter's units
+	}
+	for b, want := range tests {
+		if got := b.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(b), got, want)
+		}
+	}
+}
+
+func TestBDP(t *testing.T) {
+	// 40 Mbps * 20 ms = 100 KB exactly (decimal): 5e6 B/s * 0.02 s = 1e5 B.
+	if got := BDP(40*Mbps, 20*time.Millisecond); got != 100000 {
+		t.Errorf("BDP = %d, want 100000", got)
+	}
+}
+
+// Property: String/Parse round-trips for exact multiples.
+func TestQuickRateRoundTrip(t *testing.T) {
+	f := func(n uint16) bool {
+		r := Rate(n) * Mbps
+		got, err := ParseRate(r.String())
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TxTime and Bytes are approximate inverses.
+func TestQuickTxTimeBytesInverse(t *testing.T) {
+	f := func(mbps uint8, kb uint8) bool {
+		r := Rate(int64(mbps)+1) * Mbps
+		n := ByteSize(int64(kb)+1) * KB
+		d := r.TxTime(n)
+		back := r.Bytes(d)
+		diff := int64(back - n)
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1 // rounding slack of one byte
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,194 @@
+package mptcpsim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"mptcpsim/internal/capture"
+	"mptcpsim/internal/stats"
+	"mptcpsim/internal/trace"
+)
+
+// Series is a throughput time series in Mbps with fixed-width bins.
+type Series struct {
+	// Name labels the series ("Path 1", "Total").
+	Name string
+	// Step is the bin width.
+	Step time.Duration
+	// Mbps holds one value per bin.
+	Mbps []float64
+}
+
+// Mean returns the average over the bins in [from, to) (whole series when
+// to <= from).
+func (s Series) Mean(from, to time.Duration) float64 {
+	m, _, _, _ := s.trace().Stats(from, to)
+	return m
+}
+
+func (s Series) trace() *trace.Series {
+	return &trace.Series{Name: s.Name, Step: s.Step, V: s.Mbps}
+}
+
+func fromTrace(t *trace.Series) Series {
+	return Series{Name: t.Name, Step: t.Step, Mbps: t.V}
+}
+
+// Allocation is a per-path rate vector in Mbps.
+type Allocation struct {
+	PerPath []float64
+	Total   float64
+}
+
+// SubflowReport summarises one subflow's transport behaviour.
+type SubflowReport struct {
+	// Path is the 1-based path number (= tag); Label its display name.
+	Path  int
+	Label string
+
+	SentSegments   uint64
+	Retransmits    uint64
+	RTOs           uint64
+	FastRecoveries uint64
+	SRTT           time.Duration
+	FinalCwndBytes int
+}
+
+// Result holds everything one run produces.
+type Result struct {
+	// Options echoes the effective options (defaults filled).
+	Options Options
+	// Paths holds the per-path throughput series, in path order.
+	Paths []Series
+	// Cross holds the competing single-path TCP flows' series, in
+	// Options.CrossTCP order.
+	Cross []Series
+	// Total is the sum across paths — the paper's headline curve.
+	Total Series
+	// Optimum is the LP solution (the paper's max x1+x2+x3).
+	Optimum Allocation
+	// Problem is the LP in human-readable form (Fig. 1c).
+	Problem string
+	// MaxMin, PropFair and Greedy are the analytic reference allocations.
+	MaxMin, PropFair, Greedy []float64
+	// Summary holds convergence/stability metrics.
+	Summary stats.Summary
+	// Subflows reports per-subflow transport counters, in subflow order.
+	Subflows []SubflowReport
+	// Drops counts dropped packets per link.
+	Drops map[string]uint64
+	// Utilisation is the busy fraction of each link that carried at least
+	// 5% load — the paper's bottleneck-saturation picture.
+	Utilisation map[string]float64
+	// Packets is the number of data packets captured at the receiver.
+	Packets uint64
+	// DeliveredBytes is connection-level in-order goodput;
+	// DuplicateBytes counts data-level duplicates (redundant scheduler).
+	DeliveredBytes, DuplicateBytes uint64
+	// TransferComplete reports whether a fixed-size transfer finished.
+	TransferComplete bool
+
+	records []capture.Record
+}
+
+// WriteCSV emits the per-path and total series as CSV.
+func (r *Result) WriteCSV(w io.Writer) error {
+	series := make([]*trace.Series, 0, len(r.Paths)+1)
+	for _, p := range r.Paths {
+		series = append(series, p.trace())
+	}
+	series = append(series, r.Total.trace())
+	return trace.WriteCSV(w, series...)
+}
+
+// Chart renders the run as an ASCII plot with the LP optimum as a
+// reference line — the terminal version of Fig. 2.
+func (r *Result) Chart(w io.Writer, title string) error {
+	series := make([]*trace.Series, 0, len(r.Paths)+1)
+	for _, p := range r.Paths {
+		series = append(series, p.trace())
+	}
+	series = append(series, r.Total.trace())
+	return trace.Chart(w, trace.ChartOptions{
+		Title:  title,
+		YLabel: "Mbps",
+		HLines: []float64{r.Optimum.Total},
+	}, series...)
+}
+
+// WritePCAP exports the retained capture as a pcap file (requires
+// Options.RetainPackets).
+func (r *Result) WritePCAP(w io.Writer) error {
+	if r.records == nil {
+		return fmt.Errorf("mptcpsim: no packets retained; set Options.RetainPackets")
+	}
+	return capture.WritePCAP(w, r.records)
+}
+
+// Report renders a human-readable run summary.
+func (r *Result) Report(w io.Writer) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "algorithm:  %s (scheduler %s, seed %d)\n",
+		r.Options.CC, schedName(r.Options.Scheduler), r.Options.Seed)
+	fmt.Fprintf(&sb, "optimum:    %.1f Mbps at %s\n", r.Optimum.Total, fmtAlloc(r.Optimum.PerPath))
+	fmt.Fprintf(&sb, "greedy:     %.1f Mbps at %s\n", total(r.Greedy), fmtAlloc(r.Greedy))
+	fmt.Fprintf(&sb, "max-min:    %.1f Mbps at %s\n", total(r.MaxMin), fmtAlloc(r.MaxMin))
+	fmt.Fprintf(&sb, "prop-fair:  %.1f Mbps at %s\n", total(r.PropFair), fmtAlloc(r.PropFair))
+	fmt.Fprintf(&sb, "measured:   %.1f Mbps at %s (gap %.1f%%)\n",
+		r.Summary.TotalMean, fmtAlloc(r.Summary.PathMeans), r.Summary.Gap*100)
+	if r.Summary.ReachedPareto {
+		fmt.Fprintf(&sb, "pareto:     greedy level (%.0f Mbps) reached at %.2fs\n",
+			total(r.Greedy), r.Summary.ParetoAt.Seconds())
+	}
+	if r.Summary.Converged {
+		fmt.Fprintf(&sb, "converged:  yes, at %.2fs (CoV after: %.3f)\n",
+			r.Summary.ConvergedAt.Seconds(), r.Summary.PostCoV)
+	} else {
+		fmt.Fprintf(&sb, "converged:  no (CoV last half: %.3f)\n", r.Summary.PostCoV)
+	}
+	for _, sf := range r.Subflows {
+		fmt.Fprintf(&sb, "subflow %-8s sent=%-6d rtx=%-5d rto=%-3d fastrec=%-3d srtt=%s\n",
+			sf.Label+":", sf.SentSegments, sf.Retransmits, sf.RTOs, sf.FastRecoveries,
+			sf.SRTT.Round(100*time.Microsecond))
+	}
+	if len(r.Drops) > 0 {
+		keys := make([]string, 0, len(r.Drops))
+		for k := range r.Drops {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&sb, "drops:     ")
+		for _, k := range keys {
+			fmt.Fprintf(&sb, " %s=%d", k, r.Drops[k])
+		}
+		fmt.Fprintln(&sb)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func schedName(s string) string {
+	if s == "" {
+		return "minrtt"
+	}
+	return s
+}
+
+func fmtAlloc(x []float64) string {
+	parts := make([]string, len(x))
+	for i, v := range x {
+		parts[i] = fmt.Sprintf("x%d=%.1f", i+1, v)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func total(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}

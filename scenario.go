@@ -1,0 +1,138 @@
+package mptcpsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ScenarioFile is the on-disk JSON description of a topology, so the CLI
+// can run arbitrary networks without recompiling:
+//
+//	{
+//	  "links": [
+//	    {"a": "s",  "b": "v1", "mbps": 40,  "delay_ms": 1},
+//	    {"a": "v1", "b": "v2", "mbps": 100, "delay_ms": 2, "queue_bytes": 65536},
+//	    {"a": "s",  "b": "w",  "mbps": 30,  "delay_ms": 3, "loss": 0.01}
+//	  ],
+//	  "endpoints": {"src": "s", "dst": "d"},
+//	  "paths": [
+//	    {"nodes": ["s", "v1", "v2", "d"], "name": "upper"},
+//	    {"nodes": ["s", "w", "d"]}
+//	  ]
+//	}
+//
+// Nodes are created implicitly by the links that mention them. Paths are
+// numbered 1..n in file order (the numbers SubflowPaths/CrossTCP use).
+type ScenarioFile struct {
+	Links     []ScenarioLink `json:"links"`
+	Endpoints struct {
+		Src string `json:"src"`
+		Dst string `json:"dst"`
+	} `json:"endpoints"`
+	Paths []ScenarioPath `json:"paths"`
+}
+
+// ScenarioLink is one duplex link of a scenario file.
+type ScenarioLink struct {
+	A          string  `json:"a"`
+	B          string  `json:"b"`
+	Mbps       float64 `json:"mbps"`
+	DelayMs    float64 `json:"delay_ms"`
+	QueueBytes int     `json:"queue_bytes,omitempty"`
+	Loss       float64 `json:"loss,omitempty"`
+}
+
+// ScenarioPath is one declared path of a scenario file.
+type ScenarioPath struct {
+	Nodes []string `json:"nodes"`
+	Name  string   `json:"name,omitempty"`
+}
+
+// LoadNetwork parses a scenario file into a runnable Network.
+func LoadNetwork(r io.Reader) (*Network, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sf ScenarioFile
+	if err := dec.Decode(&sf); err != nil {
+		return nil, fmt.Errorf("mptcpsim: scenario: %w", err)
+	}
+	return sf.Build()
+}
+
+// Build assembles the Network described by the file.
+func (sf *ScenarioFile) Build() (*Network, error) {
+	if len(sf.Links) == 0 {
+		return nil, fmt.Errorf("mptcpsim: scenario has no links")
+	}
+	nw := NewNetwork()
+	for i, l := range sf.Links {
+		if l.A == "" || l.B == "" {
+			return nil, fmt.Errorf("mptcpsim: link %d missing endpoint names", i)
+		}
+		if l.Mbps <= 0 {
+			return nil, fmt.Errorf("mptcpsim: link %d (%s-%s) needs mbps > 0", i, l.A, l.B)
+		}
+		if l.DelayMs < 0 {
+			return nil, fmt.Errorf("mptcpsim: link %d (%s-%s) has negative delay", i, l.A, l.B)
+		}
+		nw.AddLink(l.A, l.B, l.Mbps, time.Duration(l.DelayMs*float64(time.Millisecond)))
+		if l.QueueBytes > 0 {
+			if err := nw.SetQueue(l.A, l.B, l.QueueBytes); err != nil {
+				return nil, err
+			}
+		}
+		if l.Loss > 0 {
+			if err := nw.SetLoss(l.A, l.B, l.Loss); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if sf.Endpoints.Src == "" || sf.Endpoints.Dst == "" {
+		return nil, fmt.Errorf("mptcpsim: scenario missing endpoints")
+	}
+	if err := nw.Endpoints(sf.Endpoints.Src, sf.Endpoints.Dst); err != nil {
+		return nil, err
+	}
+	if len(sf.Paths) == 0 {
+		return nil, fmt.Errorf("mptcpsim: scenario declares no paths")
+	}
+	for i, p := range sf.Paths {
+		num, err := nw.AddPath(p.Nodes...)
+		if err != nil {
+			return nil, fmt.Errorf("mptcpsim: path %d: %w", i+1, err)
+		}
+		if p.Name != "" {
+			if err := nw.NamePath(num, p.Name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return nw, nil
+}
+
+// PaperScenario returns the paper network as a scenario file, both as
+// documentation of the format and for -topo round-trips.
+func PaperScenario() *ScenarioFile {
+	sf := &ScenarioFile{
+		Links: []ScenarioLink{
+			{A: "s", B: "v1", Mbps: 40, DelayMs: 1},
+			{A: "v1", B: "v2", Mbps: 100, DelayMs: 2},
+			{A: "v2", B: "v3", Mbps: 80, DelayMs: 2},
+			{A: "v3", B: "d", Mbps: 100, DelayMs: 4},
+			{A: "v1", B: "v3", Mbps: 100, DelayMs: 1},
+			{A: "v3", B: "v4", Mbps: 60, DelayMs: 1},
+			{A: "v4", B: "d", Mbps: 100, DelayMs: 1},
+			{A: "s", B: "v2", Mbps: 100, DelayMs: 3},
+		},
+		Paths: []ScenarioPath{
+			{Nodes: []string{"s", "v1", "v2", "v3", "d"}, Name: "Path 1"},
+			{Nodes: []string{"s", "v1", "v3", "v4", "d"}, Name: "Path 2"},
+			{Nodes: []string{"s", "v2", "v3", "v4", "d"}, Name: "Path 3"},
+		},
+	}
+	sf.Endpoints.Src = "s"
+	sf.Endpoints.Dst = "d"
+	return sf
+}

@@ -1,0 +1,95 @@
+package mptcpsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPaperScenarioRoundTrip(t *testing.T) {
+	// Serialise the paper scenario, parse it back, run it: the LP must be
+	// identical to the built-in PaperNetwork.
+	data, err := json.Marshal(PaperScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := LoadNetwork(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumPaths() != 3 {
+		t.Fatalf("paths = %d", nw.NumPaths())
+	}
+	res, err := Run(nw, Options{Duration: 200 * time.Millisecond, SubflowPaths: []int{2, 1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Optimum.Total-90) > 1e-6 {
+		t.Fatalf("scenario LP total = %v, want 90", res.Optimum.Total)
+	}
+	want := []float64{30, 10, 50}
+	for i, v := range want {
+		if math.Abs(res.Optimum.PerPath[i]-v) > 1e-6 {
+			t.Fatalf("scenario LP = %v, want %v", res.Optimum.PerPath, want)
+		}
+	}
+}
+
+func TestLoadNetworkFromJSON(t *testing.T) {
+	src := `{
+		"links": [
+			{"a": "p", "b": "w", "mbps": 30, "delay_ms": 3, "loss": 0.01},
+			{"a": "w", "b": "srv", "mbps": 100, "delay_ms": 5},
+			{"a": "p", "b": "l", "mbps": 20, "delay_ms": 15, "queue_bytes": 32768},
+			{"a": "l", "b": "srv", "mbps": 100, "delay_ms": 10}
+		],
+		"endpoints": {"src": "p", "dst": "srv"},
+		"paths": [
+			{"nodes": ["p", "w", "srv"], "name": "wifi"},
+			{"nodes": ["p", "l", "srv"]}
+		]
+	}`
+	nw, err := LoadNetwork(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumPaths() != 2 {
+		t.Fatalf("paths = %d", nw.NumPaths())
+	}
+	res, err := Run(nw, Options{CC: "lia", Duration: 2 * time.Second, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Paths[0].Name != "wifi" || res.Paths[1].Name != "Path 2" {
+		t.Fatalf("path names = %q, %q", res.Paths[0].Name, res.Paths[1].Name)
+	}
+	if math.Abs(res.Optimum.Total-50) > 1e-6 {
+		t.Fatalf("LP total = %v, want 50", res.Optimum.Total)
+	}
+	if res.Summary.TotalMean <= 0 {
+		t.Fatal("no throughput from scenario network")
+	}
+}
+
+func TestLoadNetworkRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       `{]`,
+		"unknown field": `{"links": [], "zzz": 1}`,
+		"no links":      `{"links": [], "endpoints": {"src":"a","dst":"b"}, "paths":[{"nodes":["a","b"]}]}`,
+		"zero rate":     `{"links": [{"a":"a","b":"b","mbps":0,"delay_ms":1}], "endpoints": {"src":"a","dst":"b"}, "paths":[{"nodes":["a","b"]}]}`,
+		"neg delay":     `{"links": [{"a":"a","b":"b","mbps":1,"delay_ms":-1}], "endpoints": {"src":"a","dst":"b"}, "paths":[{"nodes":["a","b"]}]}`,
+		"no endpoints":  `{"links": [{"a":"a","b":"b","mbps":1,"delay_ms":1}], "paths":[{"nodes":["a","b"]}]}`,
+		"no paths":      `{"links": [{"a":"a","b":"b","mbps":1,"delay_ms":1}], "endpoints": {"src":"a","dst":"b"}}`,
+		"bad path":      `{"links": [{"a":"a","b":"b","mbps":1,"delay_ms":1}], "endpoints": {"src":"a","dst":"b"}, "paths":[{"nodes":["a","zzz"]}]}`,
+		"bad loss":      `{"links": [{"a":"a","b":"b","mbps":1,"delay_ms":1,"loss":2}], "endpoints": {"src":"a","dst":"b"}, "paths":[{"nodes":["a","b"]}]}`,
+		"missing names": `{"links": [{"mbps":1,"delay_ms":1}], "endpoints": {"src":"a","dst":"b"}, "paths":[{"nodes":["a","b"]}]}`,
+	}
+	for name, src := range cases {
+		if _, err := LoadNetwork(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
