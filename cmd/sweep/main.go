@@ -1,0 +1,192 @@
+// Command sweep runs a parameter grid of experiments in parallel and
+// reports per-run optimality gaps against the LP baseline plus aggregate
+// statistics per (scenario, perturbation, cc, scheduler) cell.
+//
+// Without -grid it runs the paper question as a batch: every
+// congestion-control algorithm crossed with four subflow orderings on the
+// Fig. 1a network (24 runs). A JSON grid spec (see mptcpsim.Grid) selects
+// arbitrary axes, including scenario files and link perturbations:
+//
+//	{
+//	  "ccs": ["cubic", "olia"],
+//	  "orders": [[2,1,3], [1,2,3]],
+//	  "seeds": [1, 2, 3],
+//	  "perturbations": [
+//	    {"name": "base"},
+//	    {"name": "lossy", "loss": 0.005},
+//	    {"name": "shallow", "queue_scale": 0.25}
+//	  ],
+//	  "scenarios": [{"name": "paper", "paper": true},
+//	                {"name": "mine", "file": "mine.json"}]
+//	}
+//
+// Output is deterministic for a given grid regardless of -workers: run
+// indices follow grid expansion order and contain no wall-clock data.
+//
+// Examples:
+//
+//	sweep -workers 8
+//	sweep -grid grid.json -csv runs.csv -groups groups.csv -json sweep.json
+//	sweep -seeds 5 -duration 8s -quiet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"mptcpsim"
+)
+
+func main() {
+	var (
+		gridPath   = flag.String("grid", "", "JSON grid spec (default: built-in paper grid, all CCs x 4 orderings)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel worker goroutines")
+		seeds      = flag.Int("seeds", 1, "seeds 1..n (ignored when the grid file lists seeds)")
+		duration   = flag.Duration("duration", 0, "traffic duration override (0 = grid / 4s default)")
+		csvPath    = flag.String("csv", "", "write the per-run table to this CSV file")
+		groupsPath = flag.String("groups", "", "write the aggregate table to this CSV file")
+		jsonPath   = flag.String("json", "", "write the full result (runs + groups) to this JSON file")
+		quiet      = flag.Bool("quiet", false, "suppress per-run progress lines")
+	)
+	flag.Parse()
+
+	grid, err := loadGrid(*gridPath)
+	if err != nil {
+		fatal(err)
+	}
+	if len(grid.Seeds) == 0 && *seeds > 1 {
+		for s := 1; s <= *seeds; s++ {
+			grid.Seeds = append(grid.Seeds, int64(s))
+		}
+	}
+	if *duration > 0 {
+		grid.DurationMs = float64(*duration) / float64(time.Millisecond)
+	}
+
+	sweep := &mptcpsim.Sweep{Workers: *workers}
+	if !*quiet {
+		sweep.OnResult = func(done, total int, r mptcpsim.RunSummary) {
+			status := fmt.Sprintf("gap %5.1f%%", r.Gap*100)
+			if r.Converged {
+				status += fmt.Sprintf(", converged at %.2fs", r.ConvergedAtS)
+			}
+			if r.Err != "" {
+				status = "error: " + r.Err
+			}
+			fmt.Fprintf(os.Stderr, "[%3d/%d] %s/%s cc=%-6s sched=%-10s order=%-7s seed=%d  %s\n",
+				done, total, r.Scenario, r.Perturbation, r.CC, r.Scheduler,
+				r.OrderString(), r.Seed, status)
+		}
+	}
+
+	start := time.Now()
+	res, err := sweep.Run(grid)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "completed %d runs in %v with %d workers\n",
+		len(res.Runs), time.Since(start).Round(time.Millisecond), *workers)
+
+	if err := res.Report(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if idx := res.SortRunsByGap(); len(idx) > 0 {
+		best := res.Runs[idx[0]]
+		fmt.Printf("\nbest run: %s/%s cc=%s order=%s seed=%d at %.1f of %.1f Mbps (gap %.1f%%)\n",
+			best.Scenario, best.Perturbation, best.CC, best.OrderString(),
+			best.Seed, best.TotalMbps, best.OptimumMbps, best.Gap*100)
+	}
+
+	for _, out := range []struct {
+		path string
+		fn   func(io.Writer) error
+	}{
+		{*csvPath, res.WriteCSV},
+		{*groupsPath, res.WriteGroupsCSV},
+		{*jsonPath, res.WriteJSON},
+	} {
+		if out.path == "" {
+			continue
+		}
+		if err := writeFile(out.path, out.fn); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", out.path)
+	}
+	if n := res.Errs(); n > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d of %d runs failed\n", n, len(res.Runs))
+		os.Exit(1)
+	}
+}
+
+// loadGrid reads the grid spec and resolves scenario file references
+// relative to the spec's directory. An empty path yields the default
+// paper grid: every registered CC crossed with four subflow orderings.
+func loadGrid(path string) (*mptcpsim.Grid, error) {
+	if path == "" {
+		return &mptcpsim.Grid{
+			CCs:    []string{"lia", "olia", "balia", "cubic", "reno", "wvegas"},
+			Orders: [][]int{{2, 1, 3}, {1, 2, 3}, {3, 1, 2}, {1, 3, 2}},
+		}, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	grid, err := mptcpsim.LoadGrid(f)
+	if err != nil {
+		return nil, err
+	}
+	for i, sc := range grid.Scenarios {
+		if sc.File == "" || sc.Scenario != nil {
+			continue
+		}
+		ref := sc.File
+		if !filepath.IsAbs(ref) {
+			ref = filepath.Join(filepath.Dir(path), ref)
+		}
+		sf, err := os.Open(ref)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		inline, err := mptcpsim.LoadScenario(sf)
+		sf.Close()
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		// Expand build-validates every scenario, so decoding suffices here.
+		// The file reference is now resolved; clear it so Expand's
+		// exactly-one-selector check sees a plain inline scenario.
+		grid.Scenarios[i].Scenario = inline
+		grid.Scenarios[i].File = ""
+		// Default to the path as written, not its basename: two files
+		// named net.json in different directories must stay distinct.
+		if grid.Scenarios[i].Name == "" {
+			grid.Scenarios[i].Name = sc.File
+		}
+	}
+	return grid, nil
+}
+
+func writeFile(path string, fn func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -2,6 +2,7 @@ package mptcpsim
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"mptcpsim/internal/capture"
@@ -19,6 +20,12 @@ import (
 	"mptcpsim/internal/unit"
 	"mptcpsim/internal/workload"
 )
+
+// ResetBaselineCache drops the memoised LP/max-min/proportional-fair
+// baselines. The cache is keyed by topology and unbounded, so
+// long-running processes sweeping many distinct topologies (e.g. a
+// capacity axis with many values) should reset it between batches.
+func ResetBaselineCache() { lp.ResetBaselineCache() }
 
 // RunPaper executes the paper's experiment on the Fig. 1a network with
 // Path 2 as the default subflow (unless opts.SubflowPaths overrides it).
@@ -43,26 +50,31 @@ func Run(nw *Network, opts Options) (*Result, error) {
 			order[i] = i + 1
 		}
 	}
+	seen := make(map[int]bool, len(order))
 	for _, p := range order {
 		if p < 1 || p > nw.NumPaths() {
 			return nil, fmt.Errorf("mptcpsim: SubflowPaths references path %d of %d", p, nw.NumPaths())
 		}
+		// A repeated path would open two subflows with the same tag and
+		// corrupt the greedy baseline.
+		if seen[p] {
+			return nil, fmt.Errorf("mptcpsim: SubflowPaths lists path %d twice", p)
+		}
+		seen[p] = true
 	}
 
-	// Analytic baselines.
+	// Analytic baselines, memoised per topology: a sweep re-runs the same
+	// network under many option combinations, and the LP / max-min /
+	// proportional-fair solves depend only on the capacity structure.
 	res := &Result{}
-	prob := lp.MaxThroughput(nw.graph, nw.paths)
-	sol, err := prob.Solve()
+	base, err := lp.CachedBaselines(nw.graph, nw.paths)
 	if err != nil {
 		return nil, fmt.Errorf("mptcpsim: LP: %w", err)
 	}
-	if sol.Status != lp.Optimal {
-		return nil, fmt.Errorf("mptcpsim: LP not optimal: %v", sol.Status)
-	}
-	res.Optimum = Allocation{PerPath: sol.X, Total: sol.Objective}
-	res.Problem = prob.String()
-	res.MaxMin = lp.MaxMin(nw.graph, nw.paths)
-	res.PropFair = lp.PropFair(nw.graph, nw.paths, 0)
+	res.Optimum = Allocation{PerPath: base.Solution.X, Total: base.Solution.Objective}
+	res.Problem = base.ProblemString
+	res.MaxMin = base.MaxMin
+	res.PropFair = base.PropFair
 	zeroBased := make([]int, len(order))
 	for i, p := range order {
 		zeroBased[i] = p - 1
@@ -106,8 +118,16 @@ func Run(nw *Network, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for lid, p := range nw.loss {
-		net.Link(lid).SetLoss(p, rng.Fork())
+	// Sorted iteration: ranging over the map directly would hand out
+	// rng.Fork() streams in random order, making runs with several lossy
+	// links irreproducible.
+	lossLinks := make([]topo.LinkID, 0, len(nw.loss))
+	for lid := range nw.loss {
+		lossLinks = append(lossLinks, lid)
+	}
+	sort.Slice(lossLinks, func(a, b int) bool { return lossLinks[a] < lossLinks[b] })
+	for _, lid := range lossLinks {
+		net.Link(lid).SetLoss(nw.loss[lid], rng.Fork())
 	}
 
 	// Per-run micro-jitter: real testbeds never repeat exactly (interrupt

@@ -1,0 +1,111 @@
+package lp
+
+import (
+	"fmt"
+	"sync"
+
+	"mptcpsim/internal/topo"
+)
+
+// Baselines bundles the analytic reference allocations of one topology:
+// the LP optimum, the max-min fair point, and the proportionally fair
+// point. All rates are in Mbps, indexed by path.
+type Baselines struct {
+	// ProblemString is the canonical rendering of the throughput LP (one
+	// constraint per shared link) — also the cache key.
+	ProblemString string
+	// Solution is the LP optimum; Status is always Optimal.
+	Solution Solution
+	// MaxMin and PropFair are the fairness reference allocations.
+	MaxMin, PropFair []float64
+}
+
+// baselineEntry is one memoised computation; once guarantees each distinct
+// topology is solved exactly once even when many sweep workers miss the
+// cache simultaneously.
+type baselineEntry struct {
+	once sync.Once
+	b    *Baselines
+	err  error
+}
+
+// baselineCache memoises Baselines by the canonical problem rendering.
+// A parameter sweep runs the same topology under many (CC, scheduler,
+// ordering, seed) combinations; the LP and especially the iterative
+// proportional-fair solve only depend on the capacity/incidence structure,
+// so they are computed once per distinct topology and shared.
+var baselineCache = struct {
+	sync.Mutex
+	m map[string]*baselineEntry
+}{m: make(map[string]*baselineEntry)}
+
+// CachedBaselines returns the Baselines for the given topology and paths,
+// computing them on first use and serving a cached copy afterwards. The
+// cache key is the canonical LP rendering, which captures exactly the
+// inputs all three baselines depend on: the per-link capacities and the
+// path-link incidence. It is safe for concurrent use; callers receive
+// private slice copies and may modify them freely.
+func CachedBaselines(g *topo.Graph, paths []topo.Path) (*Baselines, error) {
+	prob := MaxThroughput(g, paths)
+	key := prob.String()
+
+	baselineCache.Lock()
+	e := baselineCache.m[key]
+	if e == nil {
+		e = &baselineEntry{}
+		baselineCache.m[key] = e
+	}
+	baselineCache.Unlock()
+
+	e.once.Do(func() {
+		sol, err := prob.Solve()
+		if err != nil {
+			e.err = err
+			return
+		}
+		if sol.Status != Optimal {
+			e.err = fmt.Errorf("lp: baseline LP not optimal: %v", sol.Status)
+			return
+		}
+		e.b = &Baselines{
+			ProblemString: key,
+			Solution:      sol,
+			MaxMin:        MaxMin(g, paths),
+			PropFair:      PropFair(g, paths, 0),
+		}
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+
+	return &Baselines{
+		ProblemString: e.b.ProblemString,
+		Solution: Solution{
+			Status:    e.b.Solution.Status,
+			X:         append([]float64(nil), e.b.Solution.X...),
+			Objective: e.b.Solution.Objective,
+		},
+		MaxMin:   append([]float64(nil), e.b.MaxMin...),
+		PropFair: append([]float64(nil), e.b.PropFair...),
+	}, nil
+}
+
+// BaselineCacheSize reports how many distinct topologies are cached
+// (test hook).
+func BaselineCacheSize() int {
+	baselineCache.Lock()
+	defer baselineCache.Unlock()
+	return len(baselineCache.m)
+}
+
+// ResetBaselineCache drops every cached entry (exposed to embedders as
+// mptcpsim.ResetBaselineCache). The cache is otherwise unbounded, so
+// long-running embedders sweeping many distinct topologies (e.g. a
+// capacity axis with many values) should reset it between batches.
+// In-flight CachedBaselines calls are unaffected: they hold their own
+// entry pointers.
+func ResetBaselineCache() {
+	baselineCache.Lock()
+	defer baselineCache.Unlock()
+	baselineCache.m = make(map[string]*baselineEntry)
+}

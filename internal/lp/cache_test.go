@@ -1,0 +1,103 @@
+package lp
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"mptcpsim/internal/topo"
+)
+
+func TestCachedBaselines(t *testing.T) {
+	pn := topo.Paper()
+	before := BaselineCacheSize()
+
+	b, err := CachedBaselines(pn.Graph, pn.Paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.Solution.Objective-90) > 1e-6 {
+		t.Fatalf("LP optimum = %v, want 90", b.Solution.Objective)
+	}
+	if BaselineCacheSize() <= before && before == 0 {
+		t.Fatal("baseline not cached")
+	}
+
+	// Second lookup serves the cache and returns equal values in fresh
+	// slices the caller may scribble on.
+	b2, err := CachedBaselines(pn.Graph, pn.Paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &b.Solution.X[0] == &b2.Solution.X[0] {
+		t.Fatal("cache handed out shared slices")
+	}
+	for i := range b.Solution.X {
+		if b.Solution.X[i] != b2.Solution.X[i] {
+			t.Fatalf("cached X differs: %v vs %v", b.Solution.X, b2.Solution.X)
+		}
+	}
+	b2.MaxMin[0] = -1
+	b3, err := CachedBaselines(pn.Graph, pn.Paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b3.MaxMin[0] == -1 {
+		t.Fatal("caller mutation leaked into the cache")
+	}
+	if b3.ProblemString == "" || b3.ProblemString != b.ProblemString {
+		t.Fatalf("problem rendering unstable: %q vs %q", b.ProblemString, b3.ProblemString)
+	}
+
+	// Direct recomputation matches the cached values.
+	mm := MaxMin(pn.Graph, pn.Paths)
+	for i := range mm {
+		if math.Abs(mm[i]-b3.MaxMin[i]) > 1e-9 {
+			t.Fatalf("cached max-min %v != fresh %v", b3.MaxMin, mm)
+		}
+	}
+}
+
+func TestCachedBaselinesConcurrent(t *testing.T) {
+	pn := topo.Paper()
+	var wg sync.WaitGroup
+	out := make([]*Baselines, 16)
+	errs := make([]error, 16)
+	for i := range out {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i], errs[i] = CachedBaselines(pn.Graph, pn.Paths)
+		}(i)
+	}
+	wg.Wait()
+	for i := range out {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if math.Abs(out[i].Solution.Objective-90) > 1e-6 {
+			t.Fatalf("goroutine %d objective = %v", i, out[i].Solution.Objective)
+		}
+	}
+}
+
+func TestResetBaselineCache(t *testing.T) {
+	pn := topo.Paper()
+	if _, err := CachedBaselines(pn.Graph, pn.Paths); err != nil {
+		t.Fatal(err)
+	}
+	if BaselineCacheSize() == 0 {
+		t.Fatal("nothing cached")
+	}
+	ResetBaselineCache()
+	if n := BaselineCacheSize(); n != 0 {
+		t.Fatalf("cache size after reset = %d", n)
+	}
+	b, err := CachedBaselines(pn.Graph, pn.Paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.Solution.Objective-90) > 1e-6 {
+		t.Fatalf("recompute after reset = %v", b.Solution.Objective)
+	}
+}

@@ -6,10 +6,60 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"time"
 
 	"mptcpsim/internal/trace"
 )
+
+// Agg summarises a sample of scalar values — the cross-run aggregation a
+// parameter sweep needs (e.g. the optimality gap over seeds or subflow
+// orderings). The zero value describes an empty sample.
+type Agg struct {
+	// N is the sample size.
+	N int `json:"n"`
+	// Mean and Std are the sample mean and (population) standard deviation.
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	// Min, Max and Median bound and centre the sample.
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Median float64 `json:"median"`
+}
+
+// Aggregate computes an Agg over the values. Non-finite values (NaN, ±Inf)
+// are excluded — one Inf would otherwise poison Mean and make Std NaN; an
+// empty (or all-non-finite) input yields the zero Agg.
+func Aggregate(vals []float64) Agg {
+	clean := make([]float64, 0, len(vals))
+	for _, v := range vals {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			clean = append(clean, v)
+		}
+	}
+	if len(clean) == 0 {
+		return Agg{}
+	}
+	sort.Float64s(clean)
+	a := Agg{N: len(clean), Min: clean[0], Max: clean[len(clean)-1]}
+	var sum float64
+	for _, v := range clean {
+		sum += v
+	}
+	a.Mean = sum / float64(a.N)
+	var sq float64
+	for _, v := range clean {
+		d := v - a.Mean
+		sq += d * d
+	}
+	a.Std = math.Sqrt(sq / float64(a.N))
+	if a.N%2 == 1 {
+		a.Median = clean[a.N/2]
+	} else {
+		a.Median = (clean[a.N/2-1] + clean[a.N/2]) / 2
+	}
+	return a
+}
 
 // ConvergenceTime returns the first time at which the series enters the
 // band [target*(1-tol), inf) and stays there for the hold duration.

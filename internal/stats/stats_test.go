@@ -179,3 +179,49 @@ func TestQuickConvergenceMonotoneInTol(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAggregate(t *testing.T) {
+	a := Aggregate([]float64{4, 1, 3, 2})
+	if a.N != 4 || a.Mean != 2.5 || a.Min != 1 || a.Max != 4 || a.Median != 2.5 {
+		t.Fatalf("Aggregate = %+v", a)
+	}
+	if math.Abs(a.Std-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("std = %v", a.Std)
+	}
+
+	odd := Aggregate([]float64{9, 1, 5})
+	if odd.Median != 5 {
+		t.Fatalf("odd median = %v", odd.Median)
+	}
+
+	one := Aggregate([]float64{7})
+	if one.N != 1 || one.Mean != 7 || one.Std != 0 || one.Median != 7 || one.Min != 7 || one.Max != 7 {
+		t.Fatalf("singleton = %+v", one)
+	}
+
+	if z := Aggregate(nil); z != (Agg{}) {
+		t.Fatalf("empty = %+v", z)
+	}
+	if z := Aggregate([]float64{math.NaN()}); z != (Agg{}) {
+		t.Fatalf("all-NaN = %+v", z)
+	}
+	mixed := Aggregate([]float64{math.NaN(), 2, 4})
+	if mixed.N != 2 || mixed.Mean != 3 {
+		t.Fatalf("NaN not excluded: %+v", mixed)
+	}
+}
+
+func TestAggregateDoesNotReorderInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Aggregate(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input reordered: %v", in)
+	}
+}
+
+func TestAggregateExcludesInf(t *testing.T) {
+	a := Aggregate([]float64{math.Inf(1), 1, 3, math.Inf(-1)})
+	if a.N != 2 || a.Mean != 2 || math.IsNaN(a.Std) {
+		t.Fatalf("Inf not excluded: %+v", a)
+	}
+}

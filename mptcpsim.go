@@ -23,8 +23,25 @@
 //	res.Chart(os.Stdout, "Fig 2a")
 //
 // Custom topologies are assembled with NewNetwork / AddLink / AddPath and
-// executed with Run. Everything is stdlib-only and runs in virtual time:
-// a 4-second experiment takes milliseconds of wall clock.
+// executed with Run, or described as JSON scenario files (ScenarioFile).
+// Everything is stdlib-only and runs in virtual time: a 4-second
+// experiment takes milliseconds of wall clock.
+//
+// Batch experimentation is built in: a Grid declares the cross product of
+// scenarios, link perturbations, congestion-control algorithms,
+// schedulers, subflow orderings and seeds, and Sweep executes it across a
+// worker pool — each run an independent virtual-time simulation — then
+// aggregates per-run optimality gaps against the LP baseline into a
+// SweepResult:
+//
+//	grid := &mptcpsim.Grid{CCs: []string{"cubic", "olia"},
+//		Orders: [][]int{{2, 1, 3}, {1, 2, 3}}, Seeds: []int64{1, 2, 3}}
+//	sr, err := (&mptcpsim.Sweep{}).Run(grid)
+//	if err != nil { ... }
+//	sr.Report(os.Stdout)
+//
+// Sweep output is deterministic for a given grid regardless of worker
+// count.
 package mptcpsim
 
 import (

@@ -2,6 +2,7 @@ package mptcpsim
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"mptcpsim/internal/topo"
@@ -33,7 +34,9 @@ func NewNetwork() *Network {
 // use) with the given capacity in Mbps and one-way propagation delay.
 func (n *Network) AddLink(a, b string, mbps float64, delay time.Duration) *Network {
 	na, nb := n.graph.AddNode(a), n.graph.AddNode(b)
-	n.graph.AddDuplex(na, nb, unit.Rate(mbps*float64(unit.Mbps)), delay, 0)
+	// Round, don't truncate: truncation makes scenario emit->build cycles
+	// drift non-representable capacities down by 1 bit/s per round trip.
+	n.graph.AddDuplex(na, nb, unit.Rate(math.Round(mbps*float64(unit.Mbps))), delay, 0)
 	return n
 }
 

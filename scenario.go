@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"time"
+
+	"mptcpsim/internal/topo"
 )
 
 // ScenarioFile is the on-disk JSON description of a topology, so the CLI
@@ -50,13 +53,23 @@ type ScenarioPath struct {
 	Name  string   `json:"name,omitempty"`
 }
 
-// LoadNetwork parses a scenario file into a runnable Network.
-func LoadNetwork(r io.Reader) (*Network, error) {
+// LoadScenario parses a scenario file without building it, e.g. to embed
+// it in a Grid. Unknown fields are rejected.
+func LoadScenario(r io.Reader) (*ScenarioFile, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	var sf ScenarioFile
 	if err := dec.Decode(&sf); err != nil {
 		return nil, fmt.Errorf("mptcpsim: scenario: %w", err)
+	}
+	return &sf, nil
+}
+
+// LoadNetwork parses a scenario file into a runnable Network.
+func LoadNetwork(r io.Reader) (*Network, error) {
+	sf, err := LoadScenario(r)
+	if err != nil {
+		return nil, err
 	}
 	return sf.Build()
 }
@@ -67,17 +80,32 @@ func (sf *ScenarioFile) Build() (*Network, error) {
 		return nil, fmt.Errorf("mptcpsim: scenario has no links")
 	}
 	nw := NewNetwork()
+	pairs := make(map[[2]string]bool, len(sf.Links))
 	for i, l := range sf.Links {
 		if l.A == "" || l.B == "" {
 			return nil, fmt.Errorf("mptcpsim: link %d missing endpoint names", i)
 		}
+		// Links are addressed by node-name pair (paths, loss/queue
+		// overrides, perturbations), so parallel links would be
+		// unaddressable and overrides would land on the wrong one.
+		pair := linkPair(l.A, l.B)
+		if pairs[pair] {
+			return nil, fmt.Errorf("mptcpsim: duplicate link %s-%s (parallel links are not expressible in scenario files)", l.A, l.B)
+		}
+		pairs[pair] = true
 		if l.Mbps <= 0 {
 			return nil, fmt.Errorf("mptcpsim: link %d (%s-%s) needs mbps > 0", i, l.A, l.B)
 		}
 		if l.DelayMs < 0 {
 			return nil, fmt.Errorf("mptcpsim: link %d (%s-%s) has negative delay", i, l.A, l.B)
 		}
-		nw.AddLink(l.A, l.B, l.Mbps, time.Duration(l.DelayMs*float64(time.Millisecond)))
+		if l.Loss < 0 {
+			return nil, fmt.Errorf("mptcpsim: link %d (%s-%s) has negative loss", i, l.A, l.B)
+		}
+		// Round like AddLink rounds capacities: truncation would drift
+		// non-representable delays by 1 ns per emit -> build cycle.
+		delay := time.Duration(math.Round(l.DelayMs * float64(time.Millisecond)))
+		nw.AddLink(l.A, l.B, l.Mbps, delay)
 		if l.QueueBytes > 0 {
 			if err := nw.SetQueue(l.A, l.B, l.QueueBytes); err != nil {
 				return nil, err
@@ -112,6 +140,79 @@ func (sf *ScenarioFile) Build() (*Network, error) {
 	return nw, nil
 }
 
+// Scenario exports the network back into its on-disk description, the
+// inverse of ScenarioFile.Build: duplex links in first-definition order
+// with any queue/loss overrides, the endpoints, and the named paths.
+// Building the returned file reproduces an equivalent network, so
+// parse -> build -> re-emit is a fixpoint.
+func (n *Network) Scenario() (*ScenarioFile, error) {
+	if !n.ends {
+		return nil, fmt.Errorf("mptcpsim: call Endpoints before exporting a scenario")
+	}
+	if len(n.paths) == 0 {
+		return nil, fmt.Errorf("mptcpsim: declare paths before exporting a scenario")
+	}
+	g := n.graph
+	sf := &ScenarioFile{}
+	seen := make(map[topo.LinkID]bool)
+	pairs := make(map[[2]string]bool)
+	for _, l := range g.Links() {
+		if seen[l.ID] {
+			continue
+		}
+		a, b := g.Node(l.From).Name, g.Node(l.To).Name
+		// The format addresses links by node-name pair, so a multigraph
+		// built programmatically (repeated AddLink) cannot be described.
+		pair := linkPair(a, b)
+		if pairs[pair] {
+			return nil, fmt.Errorf("mptcpsim: parallel links %s-%s are not expressible in scenario files", a, b)
+		}
+		pairs[pair] = true
+		rev, ok := g.FindLink(l.To, l.From)
+		if !ok {
+			return nil, fmt.Errorf("mptcpsim: link %s-%s has no reverse direction", a, b)
+		}
+		seen[l.ID], seen[rev] = true, true
+		sl := ScenarioLink{
+			A:       a,
+			B:       b,
+			Mbps:    l.Rate.Mbit(),
+			DelayMs: float64(l.Delay) / float64(time.Millisecond),
+		}
+		if l.Queue > 0 {
+			sl.QueueBytes = int(l.Queue)
+		}
+		if p, ok := n.loss[l.ID]; ok {
+			sl.Loss = p
+		}
+		sf.Links = append(sf.Links, sl)
+	}
+	sf.Endpoints.Src = g.Node(n.src).Name
+	sf.Endpoints.Dst = g.Node(n.dst).Name
+	for i, p := range n.paths {
+		sp := ScenarioPath{Name: n.pathNames[i]}
+		// Default display names are synthesized by Build; emitting them
+		// would make re-emitted files differ from inputs with unnamed
+		// paths, breaking the fixpoint property.
+		if sp.Name == fmt.Sprintf("Path %d", i+1) {
+			sp.Name = ""
+		}
+		for _, node := range p.Nodes {
+			sp.Nodes = append(sp.Nodes, g.Node(node).Name)
+		}
+		sf.Paths = append(sf.Paths, sp)
+	}
+	return sf, nil
+}
+
+// linkPair normalizes an unordered node-name pair for duplicate checks.
+func linkPair(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
 // PaperScenario returns the paper network as a scenario file, both as
 // documentation of the format and for -topo round-trips.
 func PaperScenario() *ScenarioFile {
@@ -127,9 +228,9 @@ func PaperScenario() *ScenarioFile {
 			{A: "s", B: "v2", Mbps: 100, DelayMs: 3},
 		},
 		Paths: []ScenarioPath{
-			{Nodes: []string{"s", "v1", "v2", "v3", "d"}, Name: "Path 1"},
-			{Nodes: []string{"s", "v1", "v3", "v4", "d"}, Name: "Path 2"},
-			{Nodes: []string{"s", "v2", "v3", "v4", "d"}, Name: "Path 3"},
+			{Nodes: []string{"s", "v1", "v2", "v3", "d"}},
+			{Nodes: []string{"s", "v1", "v3", "v4", "d"}},
+			{Nodes: []string{"s", "v2", "v3", "v4", "d"}},
 		},
 	}
 	sf.Endpoints.Src = "s"

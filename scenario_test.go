@@ -74,6 +74,165 @@ func TestLoadNetworkFromJSON(t *testing.T) {
 	}
 }
 
+func TestScenarioReEmitFixpoint(t *testing.T) {
+	// parse -> build -> re-emit must reproduce the paper scenario exactly:
+	// same links in definition order, same endpoints, same named paths.
+	orig := PaperScenario()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := LoadNetwork(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted, err := nw.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := json.Marshal(emitted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatalf("re-emitted scenario differs:\n in: %s\nout: %s", data, data2)
+	}
+
+	// The built-in PaperNetwork exports to the same description.
+	fromBuiltin, err := PaperNetwork().Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data3, err := json.Marshal(fromBuiltin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data3) {
+		t.Fatalf("PaperNetwork export differs from PaperScenario:\n in: %s\nout: %s", data, data3)
+	}
+}
+
+func TestScenarioReEmitPreservesOverrides(t *testing.T) {
+	src := `{
+		"links": [
+			{"a": "p", "b": "w", "mbps": 30, "delay_ms": 3, "loss": 0.01},
+			{"a": "w", "b": "srv", "mbps": 100, "delay_ms": 5},
+			{"a": "p", "b": "l", "mbps": 20, "delay_ms": 15, "queue_bytes": 32768},
+			{"a": "l", "b": "srv", "mbps": 100, "delay_ms": 10}
+		],
+		"endpoints": {"src": "p", "dst": "srv"},
+		"paths": [
+			{"nodes": ["p", "w", "srv"], "name": "wifi"},
+			{"nodes": ["p", "l", "srv"]}
+		]
+	}`
+	nw, err := LoadNetwork(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := nw.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Links[0].Loss != 0.01 {
+		t.Fatalf("loss override lost: %+v", sf.Links[0])
+	}
+	if sf.Links[2].QueueBytes != 32768 {
+		t.Fatalf("queue override lost: %+v", sf.Links[2])
+	}
+	// The explicit name survives; the synthesized default does not get
+	// written back (keeping re-emit a fixpoint for unnamed paths).
+	if sf.Paths[0].Name != "wifi" || sf.Paths[1].Name != "" {
+		t.Fatalf("path names wrong: %+v", sf.Paths)
+	}
+	// Emit -> build -> re-emit is a fixpoint from here on.
+	nw2, err := sf.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf2, err := nw2.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(sf)
+	b, _ := json.Marshal(sf2)
+	if string(a) != string(b) {
+		t.Fatalf("not a fixpoint:\n in: %s\nout: %s", a, b)
+	}
+}
+
+func TestScenarioFixpointNonRepresentableMbps(t *testing.T) {
+	// Capacities and delays that are not exactly representable in bit/s
+	// and ns must not drift across emit -> build cycles (the conversions
+	// round, not truncate).
+	src := `{
+		"links": [{"a": "a", "b": "b", "mbps": 130.14285714285714, "delay_ms": 130.14285714285714}],
+		"endpoints": {"src": "a", "dst": "b"},
+		"paths": [{"nodes": ["a", "b"]}]
+	}`
+	nw, err := LoadNetwork(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := nw.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw2, err := sf.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf2, err := nw2.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Links[0].Mbps != sf2.Links[0].Mbps {
+		t.Fatalf("capacity drifts across round trips: %v -> %v", sf.Links[0].Mbps, sf2.Links[0].Mbps)
+	}
+	if sf.Links[0].DelayMs != sf2.Links[0].DelayMs {
+		t.Fatalf("delay drifts across round trips: %v -> %v", sf.Links[0].DelayMs, sf2.Links[0].DelayMs)
+	}
+}
+
+func TestScenarioRejectsParallelLinks(t *testing.T) {
+	// Links are addressed by node-name pair, so parallel links would make
+	// loss/queue overrides and perturbations land on the wrong link.
+	src := `{
+		"links": [
+			{"a": "a", "b": "b", "mbps": 10, "delay_ms": 1},
+			{"a": "b", "b": "a", "mbps": 20, "delay_ms": 2, "loss": 0.01}
+		],
+		"endpoints": {"src": "a", "dst": "b"},
+		"paths": [{"nodes": ["a", "b"]}]
+	}`
+	if _, err := LoadNetwork(strings.NewReader(src)); err == nil {
+		t.Fatal("accepted parallel links (reversed spelling included)")
+	}
+
+	// The exporter refuses them too: a programmatic multigraph cannot be
+	// described by the format.
+	nw := NewNetwork()
+	nw.AddLink("a", "b", 10, time.Millisecond)
+	nw.AddLink("a", "b", 20, time.Millisecond)
+	if err := nw.Endpoints("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddPath("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Scenario(); err == nil {
+		t.Fatal("exported a parallel-link network")
+	}
+}
+
+func TestScenarioExportRequiresEndpoints(t *testing.T) {
+	nw := NewNetwork()
+	nw.AddLink("a", "b", 10, time.Millisecond)
+	if _, err := nw.Scenario(); err == nil {
+		t.Fatal("exported a network without endpoints")
+	}
+}
+
 func TestLoadNetworkRejectsBadInput(t *testing.T) {
 	cases := map[string]string{
 		"garbage":       `{]`,
@@ -85,6 +244,7 @@ func TestLoadNetworkRejectsBadInput(t *testing.T) {
 		"no paths":      `{"links": [{"a":"a","b":"b","mbps":1,"delay_ms":1}], "endpoints": {"src":"a","dst":"b"}}`,
 		"bad path":      `{"links": [{"a":"a","b":"b","mbps":1,"delay_ms":1}], "endpoints": {"src":"a","dst":"b"}, "paths":[{"nodes":["a","zzz"]}]}`,
 		"bad loss":      `{"links": [{"a":"a","b":"b","mbps":1,"delay_ms":1,"loss":2}], "endpoints": {"src":"a","dst":"b"}, "paths":[{"nodes":["a","b"]}]}`,
+		"neg loss":      `{"links": [{"a":"a","b":"b","mbps":1,"delay_ms":1,"loss":-0.1}], "endpoints": {"src":"a","dst":"b"}, "paths":[{"nodes":["a","b"]}]}`,
 		"missing names": `{"links": [{"mbps":1,"delay_ms":1}], "endpoints": {"src":"a","dst":"b"}, "paths":[{"nodes":["a","b"]}]}`,
 	}
 	for name, src := range cases {
