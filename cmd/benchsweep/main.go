@@ -1,0 +1,105 @@
+// Command benchsweep runs a fixed reference sweep — static and
+// dynamic-event cells over the paper network — and emits its throughput
+// and timing as a small JSON document. CI runs it as the benchmark smoke
+// step and stores the output as BENCH_sweep.json, giving the repository a
+// performance trajectory across commits.
+//
+//	benchsweep -out BENCH_sweep.json
+//	benchsweep -workers 4 -seeds 5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"mptcpsim"
+)
+
+// report is the benchmark artifact schema. Fields are stable so the
+// trajectory stays comparable across commits.
+type report struct {
+	Name    string `json:"name"`
+	Workers int    `json:"workers"`
+	Runs    int    `json:"runs"`
+	Errors  int    `json:"errors"`
+	// WallSeconds is the end-to-end sweep time; RunsPerSecond and
+	// SimSecondsPerSecond are the headline throughput numbers (virtual
+	// seconds simulated per wall second, summed over all runs).
+	WallSeconds         float64 `json:"wall_seconds"`
+	RunsPerSecond       float64 `json:"runs_per_second"`
+	SimSecondsPerSecond float64 `json:"sim_seconds_per_second"`
+	// MeanGapPct sanity-checks the protocol side: it should move only when
+	// the simulation itself changes, never with worker count or hardware.
+	MeanGapPct float64 `json:"mean_gap_pct"`
+	GoVersion  string  `json:"go_version"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_sweep.json", "output JSON path (- for stdout)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "sweep worker goroutines")
+		seeds   = flag.Int("seeds", 3, "seeds 1..n per cell")
+	)
+	flag.Parse()
+
+	grid := &mptcpsim.Grid{
+		CCs:        []string{"cubic", "olia"},
+		Orders:     [][]int{{2, 1, 3}, {1, 2, 3}},
+		DurationMs: 1000,
+		Events: []mptcpsim.EventSet{
+			{Name: "static"},
+			{Name: "outage", Events: []mptcpsim.ScenarioEvent{
+				{AtMs: 400, Type: mptcpsim.EventLinkDown, A: "s", B: "v1"},
+				{AtMs: 700, Type: mptcpsim.EventLinkUp, A: "s", B: "v1"},
+			}},
+		},
+	}
+	for s := 1; s <= *seeds; s++ {
+		grid.Seeds = append(grid.Seeds, int64(s))
+	}
+
+	start := time.Now()
+	res, err := (&mptcpsim.Sweep{Workers: *workers}).Run(grid)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep:", err)
+		os.Exit(1)
+	}
+	wall := time.Since(start).Seconds()
+
+	r := report{
+		Name:          "sweep",
+		Workers:       *workers,
+		Runs:          len(res.Runs),
+		Errors:        res.Errs(),
+		WallSeconds:   wall,
+		RunsPerSecond: float64(len(res.Runs)) / wall,
+		SimSecondsPerSecond: float64(len(res.Runs)) *
+			(float64(grid.DurationMs) / 1000) / wall,
+		MeanGapPct: res.Gap.Mean * 100,
+		GoVersion:  runtime.Version(),
+	}
+	enc, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsweep:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchsweep: %d runs in %.2fs (%.1f runs/s), wrote %s\n",
+			r.Runs, r.WallSeconds, r.RunsPerSecond, *out)
+	}
+	if r.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "benchsweep: %d runs failed\n", r.Errors)
+		os.Exit(1)
+	}
+}

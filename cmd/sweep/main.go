@@ -16,6 +16,11 @@
 //	    {"name": "lossy", "loss": 0.005},
 //	    {"name": "shallow", "queue_scale": 0.25}
 //	  ],
+//	  "events": [
+//	    {"name": "static"},
+//	    {"name": "outage", "events": [
+//	      {"at_ms": 2000, "type": "link_down", "a": "s", "b": "v1"}]}
+//	  ],
 //	  "scenarios": [{"name": "paper", "paper": true},
 //	                {"name": "mine", "file": "mine.json"}]
 //	}
@@ -78,9 +83,9 @@ func main() {
 			if r.Err != "" {
 				status = "error: " + r.Err
 			}
-			fmt.Fprintf(os.Stderr, "[%3d/%d] %s/%s cc=%-6s sched=%-10s order=%-7s seed=%d  %s\n",
-				done, total, r.Scenario, r.Perturbation, r.CC, r.Scheduler,
-				r.OrderString(), r.Seed, status)
+			fmt.Fprintf(os.Stderr, "[%3d/%d] %s/%s/%s cc=%-6s sched=%-10s order=%-7s seed=%d  %s\n",
+				done, total, r.Scenario, r.Perturbation, r.Events, r.CC,
+				r.Scheduler, r.OrderString(), r.Seed, status)
 		}
 	}
 

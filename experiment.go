@@ -22,10 +22,17 @@ import (
 )
 
 // ResetBaselineCache drops the memoised LP/max-min/proportional-fair
-// baselines. The cache is keyed by topology and unbounded, so
-// long-running processes sweeping many distinct topologies (e.g. a
-// capacity axis with many values) should reset it between batches.
+// baselines. The cache is keyed by topology (and, for dynamic runs, by
+// capacity epoch) and LRU-bounded at lp.DefaultBaselineCacheCap entries,
+// so resetting is rarely necessary; it exists for embedders that want a
+// cold start between batches.
 func ResetBaselineCache() { lp.ResetBaselineCache() }
+
+// SetBaselineCacheCap changes the baseline cache bound (entries; n <= 0
+// restores the default). Dynamic-event sweeps create one cache entry per
+// distinct capacity epoch per topology — raise the cap if such a sweep
+// thrashes, lower it to shrink a memory-constrained embedder.
+func SetBaselineCacheCap(n int) { lp.SetBaselineCacheCap(n) }
 
 // RunPaper executes the paper's experiment on the Fig. 1a network with
 // Path 2 as the default subflow (unless opts.SubflowPaths overrides it).
@@ -63,6 +70,13 @@ func Run(nw *Network, opts Options) (*Result, error) {
 		seen[p] = true
 	}
 
+	// The dynamic-event timeline (nil for static networks). Validation is
+	// exhaustive and happens before any simulation work.
+	tl, err := nw.timeline()
+	if err != nil {
+		return nil, err
+	}
+
 	// Analytic baselines, memoised per topology: a sweep re-runs the same
 	// network under many option combinations, and the LP / max-min /
 	// proportional-fair solves depend only on the capacity structure.
@@ -80,6 +94,40 @@ func Run(nw *Network, opts Options) (*Result, error) {
 		zeroBased[i] = p - 1
 	}
 	res.Greedy = lp.GreedySequential(nw.graph, nw.paths, zeroBased)
+
+	// Piecewise baselines: one LP per capacity epoch (each cached). For a
+	// static network this is exactly one epoch sharing the cache slot of
+	// the baseline solve above.
+	epochStarts := tl.EpochStarts(opts.Duration)
+	epochBase := make([]*lp.Baselines, len(epochStarts))
+	for i, st := range epochStarts {
+		eb, err := lp.CachedBaselinesCaps(nw.graph, nw.paths, tl.CapsAt(st, nw.graph))
+		if err != nil {
+			return nil, fmt.Errorf("mptcpsim: epoch LP at %v: %w", st, err)
+		}
+		epochBase[i] = eb
+	}
+	// The optimality target: the epoch optimum, time-weighted over the
+	// measurement window (the run minus the slow-start transient). For a
+	// single epoch this is that epoch's optimum, bit for bit.
+	target := epochBase[0].Solution.Objective
+	if len(epochStarts) > 1 {
+		measureFrom := opts.Duration / 10
+		var acc float64
+		for i, st := range epochStarts {
+			en := opts.Duration
+			if i+1 < len(epochStarts) {
+				en = epochStarts[i+1]
+			}
+			if st < measureFrom {
+				st = measureFrom
+			}
+			if st < en {
+				acc += epochBase[i].Solution.Objective * float64(en-st)
+			}
+		}
+		target = acc / float64(opts.Duration-measureFrom)
+	}
 
 	// Scale queues in place for this run, restoring the original values
 	// afterwards so a Network can be reused across runs with different
@@ -255,6 +303,14 @@ func Run(nw *Network, opts Options) (*Result, error) {
 		return nil, err
 	}
 
+	// Install the event timeline last: its RNG fork comes after every
+	// static component's, so static runs consume exactly the streams they
+	// always did and stay bit-identical.
+	if tl.Len() > 0 {
+		evRng := rng.Fork()
+		tl.Schedule(loop, net, evRng.Fork)
+	}
+
 	if err := loop.RunUntil(sim.Time(opts.Duration)); err != nil {
 		return nil, err
 	}
@@ -273,7 +329,45 @@ func Run(nw *Network, opts Options) (*Result, error) {
 		greedyTotal += v
 	}
 	res.Summary = stats.Summarize(opts.CC, total, pathSeries,
-		res.Optimum.Total, greedyTotal, opts.ConvergenceTol, opts.ConvergenceHold)
+		target, greedyTotal, opts.ConvergenceTol, opts.ConvergenceHold)
+
+	// Per-epoch reports: the measured performance of each capacity epoch
+	// against the optimum that was actually in force.
+	res.Epochs = make([]EpochReport, len(epochStarts))
+	for i, st := range epochStarts {
+		en := opts.Duration
+		if i+1 < len(epochStarts) {
+			en = epochStarts[i+1]
+		}
+		es := stats.SummarizeEpoch(total, pathSeries, st, en,
+			epochBase[i].Solution.Objective, opts.ConvergenceTol, opts.ConvergenceHold)
+		res.Epochs[i] = EpochReport{
+			Start: st,
+			End:   en,
+			Optimum: Allocation{
+				PerPath: epochBase[i].Solution.X,
+				Total:   epochBase[i].Solution.Objective,
+			},
+			TotalMean:   es.TotalMean,
+			Gap:         es.Gap,
+			PathMeans:   es.PathMeans,
+			Converged:   es.Converged,
+			ConvergedAt: es.ConvergedAt,
+		}
+	}
+	// For dynamic runs the time-weighted target is right for the gap but
+	// meaningless as a convergence band (no real epoch has it, so a
+	// pre-outage plateau could sit in it forever). Convergence of a
+	// dynamic run means settling into the band of the topology that is
+	// actually in force at the end: the final epoch's.
+	if len(res.Epochs) > 1 {
+		last := res.Epochs[len(res.Epochs)-1]
+		res.Summary.Converged = last.Converged
+		res.Summary.ConvergedAt = last.ConvergedAt
+	}
+	for _, d := range tl.Events() {
+		res.Events = append(res.Events, fromInternal(d))
+	}
 	for i, pnum := range opts.CrossTCP {
 		s := sniff.Series(packet.Tag(crossTagBase+i),
 			fmt.Sprintf("TCP on %s", nw.pathNames[pnum-1]), opts.Duration)

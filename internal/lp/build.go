@@ -8,12 +8,36 @@ import (
 	"mptcpsim/internal/unit"
 )
 
+// Caps is a set of per-link capacity overrides in Mbps, keyed by directed
+// link ID; 0 means the link is down. Links absent from the map keep their
+// graph capacity. A nil Caps is the static topology. Dynamic-event
+// timelines produce one Caps per capacity epoch.
+type Caps map[topo.LinkID]float64
+
+// of returns the effective capacity of a link in Mbps.
+func (c Caps) of(g *topo.Graph, lid topo.LinkID) float64 {
+	if c != nil {
+		if v, ok := c[lid]; ok {
+			return v
+		}
+	}
+	return g.Link(lid).Rate.Mbit()
+}
+
 // MaxThroughput builds the paper's optimisation problem for a set of paths:
 // maximise the sum of per-path rates subject to, for every link crossed by
 // at least one path, the sum of rates over the paths using it not exceeding
 // the link capacity. Rates are expressed in Mbps so the numbers match the
 // paper's figures.
 func MaxThroughput(g *topo.Graph, paths []topo.Path) *Problem {
+	return MaxThroughputCaps(g, paths, nil)
+}
+
+// MaxThroughputCaps is MaxThroughput with capacity overrides — the LP of
+// one epoch of a dynamic run. A down link (cap 0) keeps its constraint
+// row: every path crossing it is forced to zero, exactly what an outage
+// does.
+func MaxThroughputCaps(g *topo.Graph, paths []topo.Path, caps Caps) *Problem {
 	n := len(paths)
 	p := &Problem{C: make([]float64, n)}
 	for i := range p.C {
@@ -33,10 +57,11 @@ func MaxThroughput(g *topo.Graph, paths []topo.Path) *Problem {
 			row[pi] = 1
 		}
 		l := g.Link(lid)
+		mbps := caps.of(g, lid)
 		p.A = append(p.A, row)
-		p.B = append(p.B, l.Rate.Mbit())
+		p.B = append(p.B, mbps)
 		p.RowNames = append(p.RowNames, fmt.Sprintf("%s-%s cap %s",
-			g.Node(l.From).Name, g.Node(l.To).Name, l.Rate))
+			g.Node(l.From).Name, g.Node(l.To).Name, unit.Rate(mbps*float64(unit.Mbps))))
 	}
 	return p
 }
@@ -89,13 +114,19 @@ func GreedySequential(g *topo.Graph, paths []topo.Path, order []int) []float64 {
 // progressive filling: all unfrozen path rates rise together until some
 // link saturates; paths crossing saturated links freeze; repeat.
 func MaxMin(g *topo.Graph, paths []topo.Path) []float64 {
+	return MaxMinCaps(g, paths, nil)
+}
+
+// MaxMinCaps is MaxMin with capacity overrides (one epoch of a dynamic
+// run). Paths crossing a down link freeze at zero in the first round.
+func MaxMinCaps(g *topo.Graph, paths []topo.Path, caps Caps) []float64 {
 	n := len(paths)
 	x := make([]float64, n)
 	frozen := make([]bool, n)
 	users := topo.PathsByLink(paths)
 	resid := make(map[topo.LinkID]float64)
 	for lid := range users {
-		resid[lid] = g.Link(lid).Rate.Mbit()
+		resid[lid] = caps.of(g, lid)
 	}
 	for {
 		// Count active users per link.
@@ -157,21 +188,50 @@ func MaxMin(g *topo.Graph, paths []topo.Path) []float64 {
 // equilibrium an idealised fluid model of coupled AIMD flows with equal
 // RTTs approaches, a useful reference for where LIA-style coupling lands.
 func PropFair(g *topo.Graph, paths []topo.Path, iters int) []float64 {
+	return PropFairCaps(g, paths, nil, iters)
+}
+
+// PropFairCaps is PropFair with capacity overrides (one epoch of a
+// dynamic run). Paths crossing a down link are pinned at zero and their
+// links excluded from the price dynamics — log(0) utility is outside the
+// model, so an outage simply removes the path from the market.
+func PropFairCaps(g *topo.Graph, paths []topo.Path, caps Caps, iters int) []float64 {
 	if iters <= 0 {
 		iters = 200000
 	}
-	users := topo.PathsByLink(paths)
+	n := len(paths)
+	x := make([]float64, n)
+	blocked := make([]bool, n)
+	for i, p := range paths {
+		for _, lid := range p.Links {
+			if caps.of(g, lid) <= 0 {
+				blocked[i] = true
+				break
+			}
+		}
+	}
+	live := paths[:0:0]
+	liveIdx := make([]int, 0, n)
+	for i, p := range paths {
+		if !blocked[i] {
+			live = append(live, p)
+			liveIdx = append(liveIdx, i)
+		}
+	}
+	if len(live) == 0 {
+		return x
+	}
+	users := topo.PathsByLink(live)
 	price := make(map[topo.LinkID]float64, len(users))
 	cap := make(map[topo.LinkID]float64, len(users))
 	for lid := range users {
-		cap[lid] = g.Link(lid).Rate.Mbit()
+		cap[lid] = caps.of(g, lid)
 		price[lid] = 1 / cap[lid]
 	}
-	n := len(paths)
-	x := make([]float64, n)
+	xl := make([]float64, len(live))
 	for it := 0; it < iters; it++ {
 		// Primal: x_i = 1 / (sum of prices along the path).
-		for i, p := range paths {
+		for i, p := range live {
 			var sum float64
 			for _, lid := range p.Links {
 				sum += price[lid]
@@ -179,20 +239,23 @@ func PropFair(g *topo.Graph, paths []topo.Path, iters int) []float64 {
 			if sum <= 0 {
 				sum = 1e-12
 			}
-			x[i] = 1 / sum
+			xl[i] = 1 / sum
 		}
 		// Dual: price goes up where demand exceeds capacity.
 		step := 1e-4
 		for lid, us := range users {
 			var load float64
 			for _, pi := range us {
-				load += x[pi]
+				load += xl[pi]
 			}
 			price[lid] += step * (load - cap[lid]) / cap[lid]
 			if price[lid] < 1e-9 {
 				price[lid] = 1e-9
 			}
 		}
+	}
+	for i, v := range xl {
+		x[liveIdx[i]] = v
 	}
 	return x
 }

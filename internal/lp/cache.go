@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"container/list"
 	"fmt"
 	"sync"
 
@@ -27,17 +28,66 @@ type baselineEntry struct {
 	once sync.Once
 	b    *Baselines
 	err  error
+	// elem is the entry's position in the LRU list; nil once evicted.
+	elem *list.Element
 }
 
-// baselineCache memoises Baselines by the canonical problem rendering.
-// A parameter sweep runs the same topology under many (CC, scheduler,
-// ordering, seed) combinations; the LP and especially the iterative
-// proportional-fair solve only depend on the capacity/incidence structure,
-// so they are computed once per distinct topology and shared.
+// DefaultBaselineCacheCap bounds the baseline cache. Dynamic-event
+// timelines multiply distinct cache keys (one per capacity epoch per
+// topology), so the cache is LRU-bounded instead of growing without limit
+// for the lifetime of the process.
+const DefaultBaselineCacheCap = 512
+
+// baselineCache memoises Baselines by the canonical problem rendering,
+// bounded by an LRU policy. A parameter sweep runs the same topology under
+// many (CC, scheduler, ordering, seed) combinations; the LP and especially
+// the iterative proportional-fair solve only depend on the
+// capacity/incidence structure, so they are computed once per distinct
+// topology (and, for dynamic runs, per capacity epoch) and shared.
 var baselineCache = struct {
 	sync.Mutex
 	m map[string]*baselineEntry
-}{m: make(map[string]*baselineEntry)}
+	// lru orders keys by recency, oldest at the front.
+	lru *list.List
+	cap int
+}{m: make(map[string]*baselineEntry), lru: list.New(), cap: DefaultBaselineCacheCap}
+
+// evictOldestLocked removes the least recently used entry. The caller
+// holds the cache lock. In-flight holders keep their entry pointer; only
+// the map reference goes away.
+func evictOldestLocked() bool {
+	front := baselineCache.lru.Front()
+	if front == nil {
+		return false
+	}
+	old := front.Value.(string)
+	if oe := baselineCache.m[old]; oe != nil {
+		oe.elem = nil
+	}
+	delete(baselineCache.m, old)
+	baselineCache.lru.Remove(front)
+	return true
+}
+
+// lookupEntry returns the entry for key, creating it (and evicting the
+// least recently used entry when the cache is full) on a miss.
+func lookupEntry(key string) *baselineEntry {
+	baselineCache.Lock()
+	defer baselineCache.Unlock()
+	e := baselineCache.m[key]
+	if e != nil {
+		if e.elem != nil {
+			baselineCache.lru.MoveToBack(e.elem)
+		}
+		return e
+	}
+	for len(baselineCache.m) >= baselineCache.cap && evictOldestLocked() {
+	}
+	e = &baselineEntry{}
+	e.elem = baselineCache.lru.PushBack(key)
+	baselineCache.m[key] = e
+	return e
+}
 
 // CachedBaselines returns the Baselines for the given topology and paths,
 // computing them on first use and serving a cached copy afterwards. The
@@ -46,16 +96,17 @@ var baselineCache = struct {
 // path-link incidence. It is safe for concurrent use; callers receive
 // private slice copies and may modify them freely.
 func CachedBaselines(g *topo.Graph, paths []topo.Path) (*Baselines, error) {
-	prob := MaxThroughput(g, paths)
-	key := prob.String()
+	return CachedBaselinesCaps(g, paths, nil)
+}
 
-	baselineCache.Lock()
-	e := baselineCache.m[key]
-	if e == nil {
-		e = &baselineEntry{}
-		baselineCache.m[key] = e
-	}
-	baselineCache.Unlock()
+// CachedBaselinesCaps is CachedBaselines under per-link capacity
+// overrides — the baselines of one capacity epoch of a dynamic run. The
+// overridden capacities flow into the canonical problem rendering, so
+// every distinct epoch gets its own cache slot.
+func CachedBaselinesCaps(g *topo.Graph, paths []topo.Path, caps Caps) (*Baselines, error) {
+	prob := MaxThroughputCaps(g, paths, caps)
+	key := prob.String()
+	e := lookupEntry(key)
 
 	e.once.Do(func() {
 		sol, err := prob.Solve()
@@ -70,8 +121,8 @@ func CachedBaselines(g *topo.Graph, paths []topo.Path) (*Baselines, error) {
 		e.b = &Baselines{
 			ProblemString: key,
 			Solution:      sol,
-			MaxMin:        MaxMin(g, paths),
-			PropFair:      PropFair(g, paths, 0),
+			MaxMin:        MaxMinCaps(g, paths, caps),
+			PropFair:      PropFairCaps(g, paths, caps, 0),
 		}
 	})
 	if e.err != nil {
@@ -98,14 +149,27 @@ func BaselineCacheSize() int {
 	return len(baselineCache.m)
 }
 
+// SetBaselineCacheCap changes the cache bound (n <= 0 restores the
+// default), evicting oldest entries immediately if the cache is over the
+// new bound. Exposed mainly for tests and embedders with unusual sweep
+// shapes.
+func SetBaselineCacheCap(n int) {
+	if n <= 0 {
+		n = DefaultBaselineCacheCap
+	}
+	baselineCache.Lock()
+	defer baselineCache.Unlock()
+	baselineCache.cap = n
+	for len(baselineCache.m) > baselineCache.cap && evictOldestLocked() {
+	}
+}
+
 // ResetBaselineCache drops every cached entry (exposed to embedders as
-// mptcpsim.ResetBaselineCache). The cache is otherwise unbounded, so
-// long-running embedders sweeping many distinct topologies (e.g. a
-// capacity axis with many values) should reset it between batches.
-// In-flight CachedBaselines calls are unaffected: they hold their own
-// entry pointers.
+// mptcpsim.ResetBaselineCache). In-flight CachedBaselines calls are
+// unaffected: they hold their own entry pointers.
 func ResetBaselineCache() {
 	baselineCache.Lock()
 	defer baselineCache.Unlock()
 	baselineCache.m = make(map[string]*baselineEntry)
+	baselineCache.lru = list.New()
 }

@@ -101,3 +101,95 @@ func TestResetBaselineCache(t *testing.T) {
 		t.Fatalf("recompute after reset = %v", b.Solution.Objective)
 	}
 }
+
+func TestCachedBaselinesCapsEpoch(t *testing.T) {
+	pn := topo.Paper()
+	static, err := CachedBaselines(pn.Graph, pn.Paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch with s-v1 down (both directions): paths 1 and 2 are cut, path 3
+	// keeps its 60 Mbps v3-v4 bottleneck.
+	sv1, ok := pn.Graph.NodeByName("s")
+	if !ok {
+		t.Fatal("no s")
+	}
+	v1, ok := pn.Graph.NodeByName("v1")
+	if !ok {
+		t.Fatal("no v1")
+	}
+	fwd, _ := pn.Graph.FindLink(sv1, v1)
+	rev, _ := pn.Graph.FindLink(v1, sv1)
+	caps := Caps{fwd: 0, rev: 0}
+	down, err := CachedBaselinesCaps(pn.Graph, pn.Paths, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down.ProblemString == static.ProblemString {
+		t.Fatal("epoch key collides with the static key")
+	}
+	if math.Abs(down.Solution.Objective-60) > 1e-6 {
+		t.Fatalf("outage optimum = %v, want 60", down.Solution.Objective)
+	}
+	want := []float64{0, 0, 60}
+	for i, v := range want {
+		if math.Abs(down.Solution.X[i]-v) > 1e-6 {
+			t.Fatalf("outage solution = %v, want %v", down.Solution.X, want)
+		}
+	}
+	// The fairness baselines respect the outage too.
+	if down.MaxMin[0] != 0 || down.MaxMin[1] != 0 || math.Abs(down.MaxMin[2]-60) > 1e-6 {
+		t.Fatalf("outage max-min = %v", down.MaxMin)
+	}
+	if down.PropFair[0] != 0 || down.PropFair[1] != 0 || down.PropFair[2] < 55 {
+		t.Fatalf("outage prop-fair = %v", down.PropFair)
+	}
+	// The static entry is untouched.
+	again, err := CachedBaselines(pn.Graph, pn.Paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(again.Solution.Objective-90) > 1e-6 {
+		t.Fatalf("static optimum clobbered: %v", again.Solution.Objective)
+	}
+}
+
+func TestBaselineCacheBounded(t *testing.T) {
+	ResetBaselineCache()
+	SetBaselineCacheCap(4)
+	defer SetBaselineCacheCap(0)
+	defer ResetBaselineCache()
+
+	pn := topo.Paper()
+	lid := pn.Paths[0].Links[0]
+	// Ten distinct epochs: the cache must hold at most 4.
+	for i := 1; i <= 10; i++ {
+		if _, err := CachedBaselinesCaps(pn.Graph, pn.Paths, Caps{lid: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := BaselineCacheSize(); n != 4 {
+		t.Fatalf("cache size = %d, want 4 (bounded)", n)
+	}
+	// Recency: touching an old survivor keeps it across further inserts.
+	if _, err := CachedBaselinesCaps(pn.Graph, pn.Paths, Caps{lid: 7}); err != nil {
+		t.Fatal(err)
+	}
+	before := BaselineCacheSize()
+	for i := 11; i <= 13; i++ {
+		if _, err := CachedBaselinesCaps(pn.Graph, pn.Paths, Caps{lid: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := BaselineCacheSize(); n != before {
+		t.Fatalf("cache size drifted: %d -> %d", before, n)
+	}
+	// An evicted key recomputes correctly.
+	b, err := CachedBaselinesCaps(pn.Graph, pn.Paths, Caps{lid: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Solution.Status != Optimal {
+		t.Fatalf("recomputed entry not optimal: %v", b.Solution.Status)
+	}
+}

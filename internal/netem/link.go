@@ -60,6 +60,16 @@ type Link struct {
 	transmitting bool
 	lastIdleAt   sim.Time
 
+	// down marks the link administratively dead (dynamic LinkDown event).
+	down bool
+	// cut latches, at SetDown time, that the frame currently serialising
+	// was severed — a link_up before its tx-completion must not resurrect
+	// it.
+	cut bool
+	// lastArrivalAt is the latest scheduled arrival at the far node, so a
+	// runtime delay cut cannot make a later frame overtake an in-flight one.
+	lastArrivalAt sim.Time
+
 	lossProb float64
 	lossRng  *sim.Rand
 
@@ -104,6 +114,78 @@ func (l *Link) SetLoss(p float64, rng *sim.Rand) {
 	l.lossRng = rng
 }
 
+// SetLossProb changes the loss probability at run time, keeping the RNG
+// stream installed by SetLoss so the run stays reproducible. The link must
+// have an RNG before a positive probability is set (dynamics pre-installs
+// one for every loss-event target before the simulation starts).
+func (l *Link) SetLossProb(p float64) {
+	if p > 0 && l.lossRng == nil {
+		panic("netem: SetLossProb without an RNG; call SetLoss first")
+	}
+	l.lossProb = p
+}
+
+// LossProb returns the loss probability currently in force.
+func (l *Link) LossProb() float64 { return l.lossProb }
+
+// HasLossRng reports whether a loss RNG stream is installed.
+func (l *Link) HasLossRng() bool { return l.lossRng != nil }
+
+// SetRate changes the link capacity at run time (a capacity renegotiation
+// or a degraded radio). The frame being serialised completes at the old
+// rate — its transmission time was committed when it started — and every
+// later frame is paced at the new rate. The queue capacity is unchanged:
+// buffer memory does not come and go with the line rate. Rates must be
+// positive; use SetDown for an outage.
+func (l *Link) SetRate(r unit.Rate) {
+	if r <= 0 {
+		panic("netem: SetRate needs a positive rate; use SetDown for outages")
+	}
+	l.Spec.Rate = r
+}
+
+// SetDelay changes the one-way propagation delay at run time. Frames
+// already propagating keep their committed arrival times; if the delay
+// shrinks, the next arrivals are clamped to the latest in-flight arrival so
+// the link never reorders (FIFO is preserved by construction).
+func (l *Link) SetDelay(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	l.Spec.Delay = d
+}
+
+// Down reports whether the link is administratively down.
+func (l *Link) Down() bool { return l.down }
+
+// SetDown takes the link down: the transmit queue is drained (every queued
+// packet dropped with DropLinkDown), a frame mid-serialisation is cut (it
+// never reaches the far node), and packets arriving while down are dropped
+// on admission. Frames that already left the transmitter are past the cut
+// and still propagate.
+func (l *Link) SetDown() {
+	l.down = true
+	if l.transmitting {
+		l.cut = true
+	}
+	for l.queueLen() > 0 {
+		pkt := l.pop()
+		l.queuedBytes -= pkt.Size()
+		l.drop(pkt, DropLinkDown)
+	}
+}
+
+// SetUp restores a downed link. The queue starts empty; the transmitter
+// resumes as new packets arrive.
+func (l *Link) SetUp() {
+	if !l.down {
+		return
+	}
+	l.down = false
+	l.lastIdleAt = l.net.Loop.Now()
+	l.startTx()
+}
+
 // Utilisation returns the fraction of the elapsed simulation time the
 // transmitter was busy.
 func (l *Link) Utilisation() float64 {
@@ -121,6 +203,10 @@ func (l *Link) drop(pkt *packet.Packet, reason DropReason) {
 
 // enqueue admits a packet to the transmit queue.
 func (l *Link) enqueue(pkt *packet.Packet) {
+	if l.down {
+		l.drop(pkt, DropLinkDown)
+		return
+	}
 	if l.lossProb > 0 && l.lossRng != nil && l.lossRng.Bool(l.lossProb) {
 		l.drop(pkt, DropRandom)
 		return
@@ -158,7 +244,7 @@ func (l *Link) pop() *packet.Packet {
 func (l *Link) queueLen() int { return len(l.q) - l.head }
 
 func (l *Link) startTx() {
-	if l.transmitting || l.queueLen() == 0 {
+	if l.down || l.transmitting || l.queueLen() == 0 {
 		return
 	}
 	l.transmitting = true
@@ -167,14 +253,32 @@ func (l *Link) startTx() {
 	txTime := l.Spec.Rate.TxTime(pkt.Size())
 	l.net.Loop.Schedule(txTime, func() {
 		l.Counters.Busy += txTime
+		l.transmitting = false
+		if l.down || l.cut {
+			// The wire was cut mid-frame: the bits never arrive, even if
+			// the link already came back up.
+			l.cut = false
+			l.drop(pkt, DropLinkDown)
+			// A no-op while down; resumes any queue built up after an
+			// early SetUp.
+			l.startTx()
+			return
+		}
 		l.Counters.TxPackets++
 		l.Counters.TxBytes += uint64(pkt.Size())
 		l.net.tapTransmit(l, pkt)
 		// Propagate towards the far node while the transmitter moves on.
-		l.net.Loop.Schedule(l.Spec.Delay, func() {
+		// Arrival is clamped to the latest in-flight arrival so a runtime
+		// delay cut cannot reorder frames (equal times keep FIFO by
+		// scheduling sequence).
+		arriveAt := l.net.Loop.Now().Add(l.Spec.Delay)
+		if arriveAt < l.lastArrivalAt {
+			arriveAt = l.lastArrivalAt
+		}
+		l.lastArrivalAt = arriveAt
+		l.net.Loop.At(arriveAt, func() {
 			l.net.nodes[l.Spec.To].receive(pkt)
 		})
-		l.transmitting = false
 		if l.queueLen() == 0 {
 			l.lastIdleAt = l.net.Loop.Now()
 		}

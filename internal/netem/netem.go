@@ -44,6 +44,10 @@ const (
 	DropNoHandler
 	// DropRandom: the link's random loss model fired (wireless).
 	DropRandom
+	// DropLinkDown: the link was administratively down (dynamic event) —
+	// the queue was drained, a frame was cut mid-serialisation, or the
+	// packet arrived at a dead transmitter.
+	DropLinkDown
 )
 
 // String names the reason.
@@ -61,6 +65,8 @@ func (r DropReason) String() string {
 		return "no-handler"
 	case DropRandom:
 		return "random-loss"
+	case DropLinkDown:
+		return "link-down"
 	default:
 		return fmt.Sprintf("drop(%d)", int(r))
 	}

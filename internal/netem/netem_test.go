@@ -502,3 +502,214 @@ func TestCoDelIdleBelowTarget(t *testing.T) {
 		t.Fatalf("light load lost packets: %d/100", len(s.pkts))
 	}
 }
+
+func TestLinkDownDrainsQueueAndCutsFrame(t *testing.T) {
+	// 1 Mbps => 10 ms per 1250B frame. Burst of 5, link down at 15 ms:
+	// frame 1 left the transmitter (propagating: survives), frame 2 is
+	// mid-serialisation (cut), frames 3-5 are queued (drained).
+	loop, net, a, c, aAddr, cAddr := lineNet(t, unit.Mbps, 5*time.Millisecond, 100*unit.KB)
+	rec := &recorder{loop: loop}
+	net.AttachTap(rec)
+	s := &sink{loop: loop}
+	if err := c.Register(9001, s); err != nil {
+		t.Fatal(err)
+	}
+	payload := 1250 - packet.IPv4HeaderLen - packet.UDPHeaderLen
+	loop.Schedule(0, func() {
+		for i := 0; i < 5; i++ {
+			a.Send(dataPkt(aAddr, cAddr, 1, payload))
+		}
+	})
+	ab := net.Link(0)
+	loop.Schedule(15*time.Millisecond, ab.SetDown)
+	// A late packet offered to the dead link is dropped on admission.
+	loop.Schedule(30*time.Millisecond, func() { a.Send(dataPkt(aAddr, cAddr, 1, payload)) })
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.pkts) != 1 {
+		t.Fatalf("delivered %d, want 1 (only the frame already past the cut)", len(s.pkts))
+	}
+	if !ab.Down() {
+		t.Fatal("link not down")
+	}
+	if got := ab.Counters.Drops[DropLinkDown]; got != 5 {
+		t.Fatalf("link-down drops = %d, want 5 (3 queued + 1 cut + 1 late)", got)
+	}
+	if ab.QueuedBytes() != 0 {
+		t.Fatalf("queue not drained: %v", ab.QueuedBytes())
+	}
+}
+
+func TestLinkUpResumesTraffic(t *testing.T) {
+	loop, net, a, c, aAddr, cAddr := lineNet(t, unit.Mbps, time.Millisecond, 100*unit.KB)
+	s := &sink{loop: loop}
+	if err := c.Register(9001, s); err != nil {
+		t.Fatal(err)
+	}
+	ab := net.Link(0)
+	loop.Schedule(0, ab.SetDown)
+	payload := 1250 - packet.IPv4HeaderLen - packet.UDPHeaderLen
+	loop.Schedule(10*time.Millisecond, func() { a.Send(dataPkt(aAddr, cAddr, 1, payload)) })
+	loop.Schedule(20*time.Millisecond, ab.SetUp)
+	loop.Schedule(30*time.Millisecond, func() { a.Send(dataPkt(aAddr, cAddr, 1, payload)) })
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.pkts) != 1 {
+		t.Fatalf("delivered %d, want 1 (the packet sent after SetUp)", len(s.pkts))
+	}
+	if ab.Counters.Drops[DropLinkDown] != 1 {
+		t.Fatalf("link-down drops = %d, want 1", ab.Counters.Drops[DropLinkDown])
+	}
+}
+
+func TestSetRateRepacesNextFrame(t *testing.T) {
+	// Two back-to-back 1250B frames at 1 Mbps (10 ms each). Rate doubles at
+	// 5 ms: frame 1 completes at the committed 10 ms pace, frame 2 at 5 ms.
+	loop, net, a, c, aAddr, cAddr := lineNet(t, unit.Mbps, time.Millisecond, 100*unit.KB)
+	s := &sink{loop: loop}
+	if err := c.Register(9001, s); err != nil {
+		t.Fatal(err)
+	}
+	payload := 1250 - packet.IPv4HeaderLen - packet.UDPHeaderLen
+	loop.Schedule(0, func() {
+		a.Send(dataPkt(aAddr, cAddr, 1, payload))
+		a.Send(dataPkt(aAddr, cAddr, 1, payload))
+	})
+	loop.Schedule(5*time.Millisecond, func() {
+		net.Link(0).SetRate(2 * unit.Mbps)
+		net.Link(1).SetRate(2 * unit.Mbps)
+	})
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.at) != 2 {
+		t.Fatalf("delivered %d, want 2", len(s.at))
+	}
+	// Frame 1: 10ms (a->b, old rate) + 1ms + 5ms (b->c, new rate) + 1ms = 17ms.
+	// Frame 2: starts a->b at 10ms at the new rate (5ms), b->c 5ms: 22ms.
+	if s.at[0] != sim.Time(17*time.Millisecond) || s.at[1] != sim.Time(22*time.Millisecond) {
+		t.Fatalf("arrivals %v, want [17ms 22ms]", s.at)
+	}
+}
+
+func TestSetDelayNeverReorders(t *testing.T) {
+	// A large delay cut between two frames: without the arrival clamp the
+	// second frame would overtake the first inside the wire.
+	loop, net, a, c, aAddr, cAddr := lineNet(t, unit.Mbps, 50*time.Millisecond, 100*unit.KB)
+	s := &sink{loop: loop}
+	if err := c.Register(9001, s); err != nil {
+		t.Fatal(err)
+	}
+	loop.Schedule(0, func() {
+		a.Send(dataPkt(aAddr, cAddr, 1, 100))
+		a.Send(dataPkt(aAddr, cAddr, 1, 200))
+	})
+	loop.Schedule(time.Millisecond, func() {
+		net.Link(0).SetDelay(time.Microsecond)
+		net.Link(1).SetDelay(time.Microsecond)
+	})
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.pkts) != 2 {
+		t.Fatalf("delivered %d, want 2", len(s.pkts))
+	}
+	if s.pkts[0].PayloadLen != 100 || s.pkts[1].PayloadLen != 200 {
+		t.Fatalf("reordered: payloads %d, %d", s.pkts[0].PayloadLen, s.pkts[1].PayloadLen)
+	}
+	if s.at[1] < s.at[0] {
+		t.Fatalf("arrival times inverted: %v", s.at)
+	}
+}
+
+func TestSetLossProbRuntimeChange(t *testing.T) {
+	loop, net, a, c, aAddr, cAddr := lineNet(t, unit.Gbps, time.Microsecond, unit.MB)
+	s := &sink{loop: loop}
+	if err := c.Register(9001, s); err != nil {
+		t.Fatal(err)
+	}
+	ab := net.Link(0)
+	ab.SetLoss(0, sim.NewRand(5))
+	if !ab.HasLossRng() {
+		t.Fatal("loss RNG not installed")
+	}
+	const n = 500
+	send := func() {
+		for i := 0; i < n; i++ {
+			a.Send(dataPkt(aAddr, cAddr, 1, 100))
+		}
+	}
+	loop.Schedule(0, send)                                           // lossless phase
+	loop.Schedule(10*time.Millisecond, func() { ab.SetLossProb(1) }) // total loss
+	loop.Schedule(20*time.Millisecond, send)                         // all dropped
+	loop.Schedule(30*time.Millisecond, func() { ab.SetLossProb(0) }) // restored
+	loop.Schedule(40*time.Millisecond, send)                         // lossless again
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.pkts) != 2*n {
+		t.Fatalf("delivered %d, want %d", len(s.pkts), 2*n)
+	}
+	if ab.Counters.Drops[DropRandom] != n {
+		t.Fatalf("random drops = %d, want %d", ab.Counters.Drops[DropRandom], n)
+	}
+	if ab.LossProb() != 0 {
+		t.Fatalf("loss prob = %v after restore", ab.LossProb())
+	}
+}
+
+func TestCutFrameStaysCutAcrossQuickUp(t *testing.T) {
+	// 1 Mbps => 10 ms per 1250B frame. The frame starts at t=0; the link
+	// flaps down at 2 ms and up at 5 ms, both before tx-completion at
+	// 10 ms: the severed frame must not be resurrected, but a packet sent
+	// after the flap must flow.
+	loop, net, a, c, aAddr, cAddr := lineNet(t, unit.Mbps, time.Millisecond, 100*unit.KB)
+	s := &sink{loop: loop}
+	if err := c.Register(9001, s); err != nil {
+		t.Fatal(err)
+	}
+	ab := net.Link(0)
+	payload := 1250 - packet.IPv4HeaderLen - packet.UDPHeaderLen
+	loop.Schedule(0, func() { a.Send(dataPkt(aAddr, cAddr, 1, payload)) })
+	loop.Schedule(2*time.Millisecond, ab.SetDown)
+	loop.Schedule(5*time.Millisecond, ab.SetUp)
+	loop.Schedule(20*time.Millisecond, func() { a.Send(dataPkt(aAddr, cAddr, 1, payload)) })
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.pkts) != 1 {
+		t.Fatalf("delivered %d, want 1 (the post-flap packet only)", len(s.pkts))
+	}
+	if ab.Counters.Drops[DropLinkDown] != 1 {
+		t.Fatalf("link-down drops = %d, want 1 (the cut frame)", ab.Counters.Drops[DropLinkDown])
+	}
+	// The resurrected-frame bug would also have counted it as transmitted.
+	if ab.Counters.TxPackets != 1 {
+		t.Fatalf("TxPackets = %d, want 1", ab.Counters.TxPackets)
+	}
+}
+
+func TestQueueAfterQuickUpResumesOnCutCompletion(t *testing.T) {
+	// A packet enqueued between SetUp and the severed frame's
+	// tx-completion must not stall waiting for another enqueue.
+	loop, net, a, c, aAddr, cAddr := lineNet(t, unit.Mbps, time.Millisecond, 100*unit.KB)
+	s := &sink{loop: loop}
+	if err := c.Register(9001, s); err != nil {
+		t.Fatal(err)
+	}
+	ab := net.Link(0)
+	payload := 1250 - packet.IPv4HeaderLen - packet.UDPHeaderLen
+	loop.Schedule(0, func() { a.Send(dataPkt(aAddr, cAddr, 1, payload)) })
+	loop.Schedule(2*time.Millisecond, ab.SetDown)
+	loop.Schedule(5*time.Millisecond, ab.SetUp)
+	// Enqueued at 7 ms: before the cut frame's completion at 10 ms.
+	loop.Schedule(7*time.Millisecond, func() { a.Send(dataPkt(aAddr, cAddr, 1, payload)) })
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.pkts) != 1 {
+		t.Fatalf("delivered %d, want 1 (queued packet resumed after the cut)", len(s.pkts))
+	}
+}

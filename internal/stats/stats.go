@@ -149,7 +149,11 @@ type Summary struct {
 	Algorithm string
 	// TotalMean is the mean total throughput over the measurement window.
 	TotalMean float64
-	// Gap is the optimality gap versus the LP total.
+	// Target is the optimality target Gap was computed against: the LP
+	// total for a static run, the time-weighted piecewise optimum for a
+	// dynamic one.
+	Target float64
+	// Gap is the optimality gap versus Target.
 	Gap float64
 	// Converged reports whether the total entered the optimum band.
 	Converged bool
@@ -168,12 +172,65 @@ type Summary struct {
 	ParetoAt      time.Duration
 }
 
+// EpochStats summarises one capacity epoch of a dynamic run against the
+// epoch's own LP optimum — the piecewise view of a time-varying network.
+type EpochStats struct {
+	// Start and End bound the epoch.
+	Start, End time.Duration
+	// Target is the epoch's LP optimum (Mbps).
+	Target float64
+	// TotalMean is the mean total throughput inside the epoch.
+	TotalMean float64
+	// Gap is the optimality gap versus Target over the epoch.
+	Gap float64
+	// PathMeans are the per-path means inside the epoch.
+	PathMeans []float64
+	// Converged reports whether the total entered the epoch target's band
+	// within the epoch, and ConvergedAt when (absolute run time).
+	Converged   bool
+	ConvergedAt time.Duration
+}
+
+// SummarizeEpoch computes the per-epoch metrics for [from, to) against the
+// epoch's own target. Convergence is detected on the clipped window so an
+// earlier epoch's plateau cannot satisfy a later epoch's band. An epoch
+// shorter than one trace bin falls back to the bin covering its start —
+// a 50 ms outage between 100 ms samples carried traffic and must not read
+// as zero throughput with a 100% gap.
+func SummarizeEpoch(total *trace.Series, paths []*trace.Series,
+	from, to time.Duration, target, tol float64, hold time.Duration) EpochStats {
+	e := EpochStats{Start: from, End: to, Target: target}
+	clipped := total.Clip(from, to)
+	if clipped.Len() == 0 {
+		e.TotalMean = total.At(from)
+		if target > 0 {
+			e.Gap = 1 - e.TotalMean/target
+		}
+		for _, p := range paths {
+			e.PathMeans = append(e.PathMeans, p.At(from))
+		}
+		return e
+	}
+	e.TotalMean, _, _, _ = clipped.Stats(0, 0)
+	e.Gap = OptimalityGap(&clipped, target, 0, 0)
+	if hold > to-from {
+		hold = to - from
+	}
+	e.ConvergedAt, e.Converged = ConvergenceTime(&clipped, target, tol, hold)
+	for _, p := range paths {
+		pc := p.Clip(from, to)
+		m, _, _, _ := pc.Stats(0, 0)
+		e.PathMeans = append(e.PathMeans, m)
+	}
+	return e
+}
+
 // Summarize computes a Summary for a run: total and per-path series, the
 // LP target, the greedy/Pareto level, and the convergence parameters.
 func Summarize(algorithm string, total *trace.Series, paths []*trace.Series,
 	target, pareto, tol float64, hold time.Duration) Summary {
 	dur := time.Duration(total.Len()) * total.Step
-	s := Summary{Algorithm: algorithm}
+	s := Summary{Algorithm: algorithm, Target: target}
 	// Skip the first 10% (slow-start transient) for the window mean.
 	from := dur / 10
 	s.TotalMean, _, _, _ = total.Stats(from, dur)

@@ -225,3 +225,69 @@ func TestAggregateExcludesInf(t *testing.T) {
 		t.Fatalf("Inf not excluded: %+v", a)
 	}
 }
+
+func TestSummarizeEpoch(t *testing.T) {
+	// 20 bins of 100ms: 50 Mbps for the first second, 10 after — an outage
+	// at t=1s with a 10 Mbps surviving path.
+	s := &trace.Series{Name: "Total", Step: 100 * time.Millisecond}
+	for i := 0; i < 20; i++ {
+		if i < 10 {
+			s.V = append(s.V, 50)
+		} else {
+			s.V = append(s.V, 10)
+		}
+	}
+	pre := SummarizeEpoch(s, nil, 0, time.Second, 60, 0.08, 300*time.Millisecond)
+	if pre.TotalMean != 50 {
+		t.Fatalf("pre mean = %v, want 50", pre.TotalMean)
+	}
+	if math.Abs(pre.Gap-(1-50.0/60)) > 1e-9 {
+		t.Fatalf("pre gap = %v", pre.Gap)
+	}
+	if pre.Converged {
+		t.Fatal("50 of 60 should not be in an 8% band")
+	}
+	post := SummarizeEpoch(s, nil, time.Second, 2*time.Second, 10, 0.08, 300*time.Millisecond)
+	if post.TotalMean != 10 || math.Abs(post.Gap) > 1e-9 {
+		t.Fatalf("post epoch = %+v", post)
+	}
+	if !post.Converged || post.ConvergedAt != time.Second {
+		t.Fatalf("post epoch not converged at its start: %+v", post)
+	}
+	// Convergence is judged on the clipped window: the pre-epoch plateau
+	// cannot satisfy the post epoch, and per-path means are clipped too.
+	p := &trace.Series{Name: "p", Step: 100 * time.Millisecond, V: s.V}
+	withPath := SummarizeEpoch(s, []*trace.Series{p}, time.Second, 2*time.Second, 10, 0.08, 300*time.Millisecond)
+	if len(withPath.PathMeans) != 1 || withPath.PathMeans[0] != 10 {
+		t.Fatalf("path means = %v", withPath.PathMeans)
+	}
+	// A hold longer than the epoch clamps to the epoch length instead of
+	// never converging.
+	short := SummarizeEpoch(s, nil, time.Second, 2*time.Second, 10, 0.08, time.Hour)
+	if !short.Converged {
+		t.Fatal("hold clamp missing: epoch-long plateau did not converge")
+	}
+}
+
+func TestSummarizeEpochSubBinFallback(t *testing.T) {
+	// 100 ms bins; a 50 ms epoch between samples must fall back to the
+	// covering bin instead of reporting 0 Mbps / 100% gap.
+	s := &trace.Series{Name: "Total", Step: 100 * time.Millisecond}
+	for i := 0; i < 10; i++ {
+		s.V = append(s.V, 42)
+	}
+	p := &trace.Series{Name: "p", Step: 100 * time.Millisecond, V: s.V}
+	e := SummarizeEpoch(s, []*trace.Series{p}, 200*time.Millisecond, 250*time.Millisecond, 60, 0.08, 300*time.Millisecond)
+	if e.TotalMean != 42 {
+		t.Fatalf("sub-bin epoch mean = %v, want 42 (covering bin)", e.TotalMean)
+	}
+	if math.Abs(e.Gap-(1-42.0/60)) > 1e-9 {
+		t.Fatalf("sub-bin epoch gap = %v", e.Gap)
+	}
+	if len(e.PathMeans) != 1 || e.PathMeans[0] != 42 {
+		t.Fatalf("sub-bin path means = %v", e.PathMeans)
+	}
+	if e.Converged {
+		t.Fatal("sub-bin epoch cannot establish convergence")
+	}
+}

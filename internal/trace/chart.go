@@ -19,6 +19,9 @@ type ChartOptions struct {
 	// HLines draws horizontal reference lines at the given values (e.g.
 	// the LP optimum).
 	HLines []float64
+	// VLines draws vertical markers at the given times in seconds (e.g.
+	// dynamic network events).
+	VLines []float64
 }
 
 // seriesMarks are the glyphs used per series, in order.
@@ -59,6 +62,15 @@ func Chart(w io.Writer, opts ChartOptions, series ...*Series) error {
 			for x := 0; x < opts.Width; x++ {
 				grid[r][x] = '-'
 			}
+		}
+	}
+	for _, t := range opts.VLines {
+		if tmaxSec <= 0 || t < 0 || t > tmaxSec {
+			continue
+		}
+		x := int(t / tmaxSec * float64(opts.Width-1))
+		for r := 0; r < opts.Height; r++ {
+			grid[r][x] = '|'
 		}
 	}
 	for si, s := range series {

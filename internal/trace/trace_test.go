@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bytes"
 	"math"
 	"strings"
 	"testing"
@@ -133,5 +134,37 @@ func TestQuickSumClip(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestChartVLines(t *testing.T) {
+	s := &Series{Name: "x", Step: 100 * time.Millisecond, V: make([]float64, 40)}
+	for i := range s.V {
+		s.V[i] = 5
+	}
+	var buf bytes.Buffer
+	if err := Chart(&buf, ChartOptions{VLines: []float64{2.0}, Width: 40, Height: 8}, s); err != nil {
+		t.Fatal(err)
+	}
+	marked := 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.Count(line, "|") >= 2 {
+			marked++
+		}
+	}
+	// Every plot row except the one the flat series overwrites carries the
+	// marker.
+	if marked < 6 {
+		t.Fatalf("vertical marker missing (marked rows = %d):\n%s", marked, buf.String())
+	}
+	// Out-of-range markers are ignored, not drawn at the edge.
+	var buf2 bytes.Buffer
+	if err := Chart(&buf2, ChartOptions{VLines: []float64{99}, Width: 40, Height: 8}, s); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf2.String(), "\n") {
+		if strings.Count(line, "|") >= 2 {
+			t.Fatalf("out-of-range marker drawn:\n%s", buf2.String())
+		}
 	}
 }

@@ -63,7 +63,8 @@ const (
 // selects a sensible default.
 type Options struct {
 	// CC is the congestion-control algorithm: "cubic" (paper default),
-	// "reno", "lia", "olia", "balia".
+	// "reno", "lia", "olia", "balia", "wvegas" (delay-based coupled
+	// control).
 	CC string
 	// Scheduler is the MPTCP segment scheduler: "minrtt" (default),
 	// "roundrobin", "redundant".

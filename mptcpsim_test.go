@@ -511,3 +511,50 @@ func TestTimestampsOptionRuns(t *testing.T) {
 		t.Fatalf("timestamps run total = %.1f, want > 50", res.Summary.TotalMean)
 	}
 }
+
+// TestQueueScaleRestoresLinkQueues asserts the restoration directly: after
+// a QueueScale run, every link's configured queue value — explicit or
+// auto-sized (zero) — is back to what it was, so a reused Network sees no
+// leftover scaling.
+func TestQueueScaleRestoresLinkQueues(t *testing.T) {
+	nw := NewNetwork()
+	nw.AddLink("a", "m", 20, 5*time.Millisecond)
+	nw.AddLink("m", "b", 20, 5*time.Millisecond)
+	if err := nw.Endpoints("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddPath("a", "m", "b"); err != nil {
+		t.Fatal(err)
+	}
+	// One explicit queue, the rest auto-sized (Queue == 0).
+	if err := nw.SetQueue("a", "m", 64*1024); err != nil {
+		t.Fatal(err)
+	}
+	before := make([]int64, nw.graph.NumLinks())
+	for i, l := range nw.graph.Links() {
+		before[i] = int64(l.Queue)
+	}
+	for _, qs := range []float64{0.25, 4} {
+		if _, err := Run(nw, Options{CC: "reno", Duration: 500 * time.Millisecond, Seed: 1, QueueScale: qs}); err != nil {
+			t.Fatal(err)
+		}
+		for i, l := range nw.graph.Links() {
+			if int64(l.Queue) != before[i] {
+				t.Fatalf("QueueScale %v leaked: link %d queue %d, want %d", qs, i, l.Queue, before[i])
+			}
+		}
+	}
+	// The auto-sized links are still auto (0), not frozen at a scaled size.
+	autoSeen := false
+	for i, l := range nw.graph.Links() {
+		if before[i] == 0 {
+			autoSeen = true
+			if l.Queue != 0 {
+				t.Fatalf("auto-sized link %d pinned to %d", i, l.Queue)
+			}
+		}
+	}
+	if !autoSeen {
+		t.Fatal("test lost its auto-sized links")
+	}
+}

@@ -22,6 +22,10 @@ type Network struct {
 	// Per-directed-link overrides applied at run time.
 	loss map[topo.LinkID]float64
 
+	// events are the scheduled dynamic events, in insertion order (the
+	// timeline stable-sorts them by firing time at run time).
+	events []Event
+
 	pathNames []string
 }
 

@@ -57,6 +57,29 @@ type SubflowReport struct {
 	FinalCwndBytes int
 }
 
+// EpochReport is the piecewise view of one capacity epoch of a run: the
+// window between two capacity-affecting events (or the run boundaries),
+// with the LP optimum of the topology actually in force and the measured
+// performance against it. Static runs have exactly one epoch spanning the
+// whole run.
+type EpochReport struct {
+	// Start and End bound the epoch in virtual time.
+	Start, End time.Duration
+	// Optimum is the LP solution for the epoch's effective capacities.
+	Optimum Allocation
+	// TotalMean is the measured mean total throughput inside the epoch.
+	TotalMean float64
+	// Gap is the optimality gap versus the epoch's own optimum.
+	Gap float64
+	// PathMeans are the measured per-path means inside the epoch.
+	PathMeans []float64
+	// Converged reports whether the total entered the epoch optimum's band
+	// within the epoch, and ConvergedAt when (absolute run time) — the
+	// re-convergence measure after a handover or failure.
+	Converged   bool
+	ConvergedAt time.Duration
+}
+
 // Result holds everything one run produces.
 type Result struct {
 	// Options echoes the effective options (defaults filled).
@@ -74,6 +97,17 @@ type Result struct {
 	Problem string
 	// MaxMin, PropFair and Greedy are the analytic reference allocations.
 	MaxMin, PropFair, Greedy []float64
+	// Epochs is the piecewise LP view: one entry per capacity epoch, each
+	// measured against the optimum of the topology in force during it.
+	// Static runs have a single epoch; dynamic runs (Network events) get
+	// one per LinkDown/LinkUp/SetRate boundary. Summary.Gap is computed
+	// against the time-weighted optimum across these epochs, and
+	// Summary.Converged/ConvergedAt against the final epoch's band (the
+	// topology actually in force at the end of the run).
+	Epochs []EpochReport
+	// Events echoes the network's dynamic events in firing order (empty
+	// for static runs).
+	Events []Event
 	// Summary holds convergence/stability metrics.
 	Summary stats.Summary
 	// Subflows reports per-subflow transport counters, in subflow order.
@@ -112,11 +146,24 @@ func (r *Result) Chart(w io.Writer, title string) error {
 		series = append(series, p.trace())
 	}
 	series = append(series, r.Total.trace())
-	return trace.Chart(w, trace.ChartOptions{
+	opts := trace.ChartOptions{
 		Title:  title,
 		YLabel: "Mbps",
 		HLines: []float64{r.Optimum.Total},
-	}, series...)
+	}
+	// Dynamic runs: mark every event and reference each distinct epoch
+	// optimum (the static optimum is already drawn above).
+	for _, e := range r.Events {
+		opts.VLines = append(opts.VLines, e.At.Seconds())
+	}
+	seen := map[float64]bool{r.Optimum.Total: true}
+	for _, ep := range r.Epochs {
+		if !seen[ep.Optimum.Total] {
+			seen[ep.Optimum.Total] = true
+			opts.HLines = append(opts.HLines, ep.Optimum.Total)
+		}
+	}
+	return trace.Chart(w, opts, series...)
 }
 
 // WritePCAP exports the retained capture as a pcap file (requires
@@ -148,6 +195,20 @@ func (r *Result) Report(w io.Writer) error {
 			r.Summary.ConvergedAt.Seconds(), r.Summary.PostCoV)
 	} else {
 		fmt.Fprintf(&sb, "converged:  no (CoV last half: %.3f)\n", r.Summary.PostCoV)
+	}
+	for _, e := range r.Events {
+		fmt.Fprintf(&sb, "event:      %s\n", e)
+	}
+	if len(r.Epochs) > 1 {
+		for i, ep := range r.Epochs {
+			conv := ""
+			if ep.Converged {
+				conv = fmt.Sprintf(", converged at %.2fs", ep.ConvergedAt.Seconds())
+			}
+			fmt.Fprintf(&sb, "epoch %d:    [%.2fs, %.2fs) optimum %.1f at %s, measured %.1f (gap %.1f%%)%s\n",
+				i+1, ep.Start.Seconds(), ep.End.Seconds(), ep.Optimum.Total,
+				fmtAlloc(ep.Optimum.PerPath), ep.TotalMean, ep.Gap*100, conv)
+		}
 	}
 	for _, sf := range r.Subflows {
 		fmt.Fprintf(&sb, "subflow %-8s sent=%-6d rtx=%-5d rto=%-3d fastrec=%-3d srtt=%s\n",

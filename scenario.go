@@ -35,6 +35,16 @@ type ScenarioFile struct {
 		Dst string `json:"dst"`
 	} `json:"endpoints"`
 	Paths []ScenarioPath `json:"paths"`
+	// Events optionally make the scenario dynamic: scheduled link changes
+	// applied at virtual times during the run (see Event):
+	//
+	//	"events": [
+	//	  {"at_ms": 2000, "type": "link_down", "a": "s", "b": "v1"},
+	//	  {"at_ms": 3500, "type": "link_up",   "a": "s", "b": "v1"},
+	//	  {"at_ms": 1000, "type": "set_rate",  "a": "v3", "b": "v4", "mbps": 20},
+	//	  {"at_ms": 500,  "type": "loss_burst","a": "s", "b": "v1", "loss": 0.3, "duration_ms": 200}
+	//	]
+	Events []ScenarioEvent `json:"events,omitempty"`
 }
 
 // ScenarioLink is one duplex link of a scenario file.
@@ -51,6 +61,52 @@ type ScenarioLink struct {
 type ScenarioPath struct {
 	Nodes []string `json:"nodes"`
 	Name  string   `json:"name,omitempty"`
+}
+
+// ScenarioEvent is one dynamic event of a scenario file. Type takes the
+// Event* spellings; only the parameter matching the type is read.
+type ScenarioEvent struct {
+	AtMs float64 `json:"at_ms"`
+	Type string  `json:"type"`
+	A    string  `json:"a"`
+	B    string  `json:"b"`
+	// Mbps is the new capacity (set_rate).
+	Mbps float64 `json:"mbps,omitempty"`
+	// DelayMs is the new one-way delay (set_delay).
+	DelayMs float64 `json:"delay_ms,omitempty"`
+	// Loss is the new (set_loss) or in-burst (loss_burst) probability.
+	Loss float64 `json:"loss,omitempty"`
+	// DurationMs is the burst window length (loss_burst).
+	DurationMs float64 `json:"duration_ms,omitempty"`
+}
+
+// event converts the JSON form to the API form, rounding times like the
+// link fields so emit -> build cycles are fixpoints.
+func (se ScenarioEvent) event() Event {
+	return Event{
+		At:    time.Duration(math.Round(se.AtMs * float64(time.Millisecond))),
+		Type:  se.Type,
+		A:     se.A,
+		B:     se.B,
+		Mbps:  se.Mbps,
+		Delay: time.Duration(math.Round(se.DelayMs * float64(time.Millisecond))),
+		Loss:  se.Loss,
+		Burst: time.Duration(math.Round(se.DurationMs * float64(time.Millisecond))),
+	}
+}
+
+// scenarioEvent is the inverse of ScenarioEvent.event.
+func scenarioEvent(e Event) ScenarioEvent {
+	return ScenarioEvent{
+		AtMs:       float64(e.At) / float64(time.Millisecond),
+		Type:       e.Type,
+		A:          e.A,
+		B:          e.B,
+		Mbps:       e.Mbps,
+		DelayMs:    float64(e.Delay) / float64(time.Millisecond),
+		Loss:       e.Loss,
+		DurationMs: float64(e.Burst) / float64(time.Millisecond),
+	}
 }
 
 // LoadScenario parses a scenario file without building it, e.g. to embed
@@ -137,6 +193,18 @@ func (sf *ScenarioFile) Build() (*Network, error) {
 			}
 		}
 	}
+	for _, se := range sf.Events {
+		// AddEvent errors name the event (time, type, link) themselves.
+		if err := nw.AddEvent(se.event()); err != nil {
+			return nil, err
+		}
+	}
+	// Cross-event rules (down/up pairing, burst overlaps) need the whole
+	// timeline; check them here so broken scenarios fail at parse/build
+	// time, not at the first Run of a sweep.
+	if _, err := nw.timeline(); err != nil {
+		return nil, err
+	}
 	return nw, nil
 }
 
@@ -202,7 +270,28 @@ func (n *Network) Scenario() (*ScenarioFile, error) {
 		}
 		sf.Paths = append(sf.Paths, sp)
 	}
+	for _, e := range n.events {
+		sf.Events = append(sf.Events, scenarioEvent(e))
+	}
 	return sf, nil
+}
+
+// clone returns a deep copy of the scenario, so perturbations and event
+// sets can modify their copy without touching the original. Every field of
+// ScenarioFile must be covered here — both sweep-axis appliers rely on it.
+func (sf *ScenarioFile) clone() *ScenarioFile {
+	out := &ScenarioFile{
+		Links:     append([]ScenarioLink(nil), sf.Links...),
+		Endpoints: sf.Endpoints,
+		Events:    append([]ScenarioEvent(nil), sf.Events...),
+	}
+	for _, path := range sf.Paths {
+		out.Paths = append(out.Paths, ScenarioPath{
+			Nodes: append([]string(nil), path.Nodes...),
+			Name:  path.Name,
+		})
+	}
+	return out
 }
 
 // linkPair normalizes an unordered node-name pair for duplicate checks.

@@ -3,6 +3,7 @@ package mptcpsim
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -251,5 +252,107 @@ func TestLoadNetworkRejectsBadInput(t *testing.T) {
 		if _, err := LoadNetwork(strings.NewReader(src)); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+func TestScenarioEventsRoundTrip(t *testing.T) {
+	src := `{
+		"links": [
+			{"a": "s", "b": "v1", "mbps": 40, "delay_ms": 1},
+			{"a": "v1", "b": "d", "mbps": 100, "delay_ms": 2},
+			{"a": "s", "b": "v2", "mbps": 30, "delay_ms": 3},
+			{"a": "v2", "b": "d", "mbps": 100, "delay_ms": 4}
+		],
+		"endpoints": {"src": "s", "dst": "d"},
+		"paths": [
+			{"nodes": ["s", "v1", "d"]},
+			{"nodes": ["s", "v2", "d"]}
+		],
+		"events": [
+			{"at_ms": 2000, "type": "link_down", "a": "s", "b": "v1"},
+			{"at_ms": 3000, "type": "link_up", "a": "s", "b": "v1"},
+			{"at_ms": 1000, "type": "set_rate", "a": "s", "b": "v2", "mbps": 15},
+			{"at_ms": 500, "type": "set_delay", "a": "s", "b": "v1", "delay_ms": 7},
+			{"at_ms": 700, "type": "set_loss", "a": "s", "b": "v2", "loss": 0.02},
+			{"at_ms": 1500, "type": "loss_burst", "a": "s", "b": "v2", "loss": 0.4, "duration_ms": 250}
+		]
+	}`
+	sf, err := LoadScenario(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := sf.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nw.Events()) != 6 {
+		t.Fatalf("events = %d, want 6", len(nw.Events()))
+	}
+	// Re-emit and compare: parse -> build -> re-emit is a fixpoint.
+	out, err := nw.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Events) != len(sf.Events) {
+		t.Fatalf("re-emitted %d events, want %d", len(out.Events), len(sf.Events))
+	}
+	for i := range sf.Events {
+		if out.Events[i] != sf.Events[i] {
+			t.Fatalf("event %d drifted: %+v -> %+v", i, sf.Events[i], out.Events[i])
+		}
+	}
+	// Second cycle is bit-stable.
+	nw2, err := out.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := nw2.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := json.Marshal(out)
+	j2, _ := json.Marshal(out2)
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("re-emit not a fixpoint:\n%s\n%s", j1, j2)
+	}
+	// The built network runs and produces the expected epochs (set_rate at
+	// 1s, down at 2s, up at 3s).
+	res, err := Run(nw, Options{Duration: 4 * time.Second, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 4 {
+		t.Fatalf("epochs = %d, want 4", len(res.Epochs))
+	}
+}
+
+func TestScenarioRejectsBrokenEvents(t *testing.T) {
+	base := `{
+		"links": [
+			{"a": "a", "b": "m", "mbps": 10, "delay_ms": 1},
+			{"a": "m", "b": "b", "mbps": 10, "delay_ms": 1}
+		],
+		"endpoints": {"src": "a", "dst": "b"},
+		"paths": [{"nodes": ["a", "m", "b"]}],
+		"events": [%s]
+	}`
+	for name, ev := range map[string]string{
+		"unknown type":  `{"at_ms": 100, "type": "linkdown", "a": "a", "b": "m"}`,
+		"unknown link":  `{"at_ms": 100, "type": "link_down", "a": "a", "b": "b"}`,
+		"up while up":   `{"at_ms": 100, "type": "link_up", "a": "a", "b": "m"}`,
+		"negative time": `{"at_ms": -5, "type": "link_down", "a": "a", "b": "m"}`,
+		"zero rate":     `{"at_ms": 100, "type": "set_rate", "a": "a", "b": "m"}`,
+		"unknown field": `{"at_ms": 100, "type": "link_down", "a": "a", "b": "m", "mpbs": 3}`,
+	} {
+		_, err := LoadNetwork(strings.NewReader(fmt.Sprintf(base, ev)))
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Out-of-time-order listing with valid semantics is fine.
+	ok := `{"at_ms": 2000, "type": "link_up", "a": "a", "b": "m"},
+	       {"at_ms": 1000, "type": "link_down", "a": "a", "b": "m"}`
+	if _, err := LoadNetwork(strings.NewReader(fmt.Sprintf(base, ok))); err != nil {
+		t.Fatalf("valid unordered events rejected: %v", err)
 	}
 }

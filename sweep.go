@@ -24,9 +24,9 @@ import (
 // from disk (see LoadGrid); empty axes default to a single sensible value.
 //
 // Expansion order is deterministic and documented: scenarios vary slowest,
-// then perturbations, CC algorithms, schedulers, orderings, and seeds
-// fastest. Run indices in the resulting SweepResult follow that order
-// regardless of how many workers execute the sweep.
+// then perturbations, event sets, CC algorithms, schedulers, orderings,
+// and seeds fastest. Run indices in the resulting SweepResult follow that
+// order regardless of how many workers execute the sweep.
 type Grid struct {
 	// Scenarios lists the topologies to sweep over. Empty means the paper
 	// network (Fig. 1a).
@@ -43,6 +43,12 @@ type Grid struct {
 	// Perturbations lists topology modifications applied on top of each
 	// scenario. Empty means a single unperturbed pass.
 	Perturbations []Perturbation `json:"perturbations,omitempty"`
+	// Events lists dynamic-event timelines applied on top of each
+	// (scenario, perturbation) combination — the axis that asks how each
+	// algorithm copes with a failure, handover or renegotiation. Empty
+	// means a single static pass. Event times and targets are validated at
+	// expansion time, before any run starts.
+	Events []EventSet `json:"events,omitempty"`
 	// Seeds lists the random seeds. Empty means {1}.
 	Seeds []int64 `json:"seeds,omitempty"`
 	// DurationMs overrides the traffic duration (milliseconds); 0 keeps
@@ -99,6 +105,43 @@ type Perturbation struct {
 	// Links lists targeted single-link overrides applied after the global
 	// fields.
 	Links []LinkPerturbation `json:"links,omitempty"`
+}
+
+// EventSet is one value of a sweep's events axis: a named timeline of
+// dynamic events appended to the scenario's own events (if any). The
+// empty timeline is the static pass and is usually listed first under the
+// name "static" so every dynamic cell has its control.
+type EventSet struct {
+	// Name labels the set in results; defaulted when empty ("static" for
+	// an empty timeline).
+	Name string `json:"name,omitempty"`
+	// Scenarios restricts the set to the named scenarios; empty applies it
+	// to all. Link-targeted events usually need this in multi-scenario
+	// grids (targeting a link absent from an applicable scenario is an
+	// error).
+	Scenarios []string `json:"scenarios,omitempty"`
+	// Events is the timeline, in scenario-file form.
+	Events []ScenarioEvent `json:"events,omitempty"`
+}
+
+// appliesTo reports whether the event set covers the named scenario.
+func (es EventSet) appliesTo(scenario string) bool {
+	if len(es.Scenarios) == 0 {
+		return true
+	}
+	for _, s := range es.Scenarios {
+		if s == scenario {
+			return true
+		}
+	}
+	return false
+}
+
+// apply returns a deep copy of sf with the set's events appended.
+func (es EventSet) apply(sf *ScenarioFile) *ScenarioFile {
+	out := sf.clone()
+	out.Events = append(out.Events, es.Events...)
+	return out
 }
 
 // LinkPerturbation overrides the parameters of one named link (matched in
@@ -169,16 +212,7 @@ func (p Perturbation) apply(sf *ScenarioFile) (*ScenarioFile, error) {
 	if p.Loss > 1 {
 		return nil, fmt.Errorf("mptcpsim: perturbation %q sets loss %v (want 0..1)", p.Name, p.Loss)
 	}
-	out := &ScenarioFile{
-		Links:     append([]ScenarioLink(nil), sf.Links...),
-		Endpoints: sf.Endpoints,
-	}
-	for _, path := range sf.Paths {
-		out.Paths = append(out.Paths, ScenarioPath{
-			Nodes: append([]string(nil), path.Nodes...),
-			Name:  path.Name,
-		})
-	}
+	out := sf.clone()
 	for i := range out.Links {
 		if p.DelayScale > 0 {
 			out.Links[i].DelayMs *= p.DelayScale
@@ -247,8 +281,9 @@ func LoadGrid(r io.Reader) (*Grid, error) {
 type RunSpec struct {
 	// Index is the position in deterministic expansion order.
 	Index int
-	// Scenario and Perturbation name the topology variant.
-	Scenario, Perturbation string
+	// Scenario and Perturbation name the topology variant; Events names
+	// the dynamic-event set in force ("static" when the axis is unused).
+	Scenario, Perturbation, Events string
 	// Options holds the complete per-run options (CC, scheduler, ordering,
 	// seed and queue scale filled from the grid axes).
 	Options Options
@@ -257,7 +292,8 @@ type RunSpec struct {
 }
 
 // Expand resolves defaults and produces the deterministic run list: the
-// full cross product with scenarios varying slowest and seeds fastest.
+// full cross product with scenarios varying slowest, then perturbations,
+// event sets, CC algorithms, schedulers, orderings, and seeds fastest.
 func (g *Grid) Expand() ([]RunSpec, error) {
 	scenarios := g.Scenarios
 	if len(scenarios) == 0 {
@@ -337,6 +373,41 @@ func (g *Grid) Expand() ([]RunSpec, error) {
 			}
 			if !known {
 				return nil, fmt.Errorf("mptcpsim: perturbation %q targets unknown scenario %q", pert.Name, want)
+			}
+		}
+	}
+
+	// The events axis: like perturbations, sets are named, deduplicated,
+	// and may be scoped to scenarios; an empty axis is one static pass.
+	events := g.Events
+	if len(events) == 0 {
+		events = []EventSet{{Name: "static"}}
+	}
+	enames := make([]string, len(events))
+	for i, es := range events {
+		enames[i] = es.Name
+		if enames[i] == "" {
+			if len(es.Events) == 0 {
+				enames[i] = "static"
+			} else {
+				enames[i] = fmt.Sprintf("e%d", i+1)
+			}
+		}
+	}
+	if err := rejectDuplicateAxis("event set name", enames, nil); err != nil {
+		return nil, err
+	}
+	for _, es := range events {
+		for _, want := range es.Scenarios {
+			known := false
+			for _, sc := range resolved {
+				if sc.name == want {
+					known = true
+					break
+				}
+			}
+			if !known {
+				return nil, fmt.Errorf("mptcpsim: event set %q targets unknown scenario %q", es.Name, want)
 			}
 		}
 	}
@@ -456,6 +527,16 @@ func (g *Grid) Expand() ([]RunSpec, error) {
 		if !covered {
 			return nil, fmt.Errorf("mptcpsim: scenario %q is excluded by every perturbation's scenario filter", sc.name)
 		}
+		covered = false
+		for _, es := range events {
+			if es.appliesTo(sc.name) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return nil, fmt.Errorf("mptcpsim: scenario %q is excluded by every event set's scenario filter", sc.name)
+		}
 		for pi, pert := range perts {
 			if !pert.appliesTo(sc.name) {
 				continue
@@ -465,32 +546,44 @@ func (g *Grid) Expand() ([]RunSpec, error) {
 			if err != nil {
 				return nil, err
 			}
-			// Catch broken topologies now rather than burning the whole
-			// sweep on runs that all fail at build time.
-			if _, err := perturbed.Build(); err != nil {
-				return nil, fmt.Errorf("mptcpsim: scenario %q / perturbation %q: %w", sc.name, pname, err)
-			}
 			qs := baseQueueScale
 			if pert.QueueScale > 0 {
 				qs *= pert.QueueScale
 			}
-			for _, ccName := range ccs {
-				for _, sched := range scheds {
-					for _, order := range orders {
-						for _, seed := range seeds {
-							opts := base
-							opts.CC = ccName
-							opts.Scheduler = sched
-							opts.SubflowPaths = order
-							opts.Seed = seed
-							opts.QueueScale = qs
-							specs = append(specs, RunSpec{
-								Index:        len(specs),
-								Scenario:     sc.name,
-								Perturbation: pname,
-								Options:      opts,
-								scenario:     perturbed,
-							})
+			for ei, es := range events {
+				if !es.appliesTo(sc.name) {
+					continue
+				}
+				ename := enames[ei]
+				withEvents := es.apply(perturbed)
+				// Catch broken topologies and timelines now rather than
+				// burning the whole sweep on runs that all fail at build
+				// time: Build validates every event (times, targets,
+				// parameters, down/up pairing) against the final perturbed
+				// links.
+				if _, err := withEvents.Build(); err != nil {
+					return nil, fmt.Errorf("mptcpsim: scenario %q / perturbation %q / events %q: %w",
+						sc.name, pname, ename, err)
+				}
+				for _, ccName := range ccs {
+					for _, sched := range scheds {
+						for _, order := range orders {
+							for _, seed := range seeds {
+								opts := base
+								opts.CC = ccName
+								opts.Scheduler = sched
+								opts.SubflowPaths = order
+								opts.Seed = seed
+								opts.QueueScale = qs
+								specs = append(specs, RunSpec{
+									Index:        len(specs),
+									Scenario:     sc.name,
+									Perturbation: pname,
+									Events:       ename,
+									Options:      opts,
+									scenario:     withEvents,
+								})
+							}
 						}
 					}
 				}
@@ -508,14 +601,19 @@ type RunSummary struct {
 	Index        int     `json:"index"`
 	Scenario     string  `json:"scenario"`
 	Perturbation string  `json:"perturbation"`
+	Events       string  `json:"events,omitempty"`
 	CC           string  `json:"cc"`
 	Scheduler    string  `json:"scheduler"`
 	Order        []int   `json:"order,omitempty"`
 	Seed         int64   `json:"seed"`
 	OptimumMbps  float64 `json:"optimum_mbps"`
-	GreedyMbps   float64 `json:"greedy_mbps"`
-	TotalMbps    float64 `json:"total_mbps"`
-	// Gap is the optimality gap versus the LP total (0 = optimal,
+	// TargetMbps is the optimality target Gap was computed against: equal
+	// to OptimumMbps for static cells, the time-weighted piecewise optimum
+	// for cells with capacity events.
+	TargetMbps float64 `json:"target_mbps"`
+	GreedyMbps float64 `json:"greedy_mbps"`
+	TotalMbps  float64 `json:"total_mbps"`
+	// Gap is the optimality gap versus TargetMbps (0 = optimal,
 	// 0.25 = 25% below).
 	Gap          float64   `json:"gap"`
 	Converged    bool      `json:"converged"`
@@ -541,11 +639,12 @@ func orderString(order []int) string {
 	return strings.Join(parts, "-")
 }
 
-// GroupStats aggregates the runs sharing one (scenario, perturbation, CC,
-// scheduler) cell over orderings and seeds.
+// GroupStats aggregates the runs sharing one (scenario, perturbation,
+// events, CC, scheduler) cell over orderings and seeds.
 type GroupStats struct {
 	Scenario     string `json:"scenario"`
 	Perturbation string `json:"perturbation"`
+	Events       string `json:"events,omitempty"`
 	CC           string `json:"cc"`
 	Scheduler    string `json:"scheduler"`
 	// Runs counts completed runs in the cell, Errors failed ones.
@@ -657,6 +756,7 @@ func runSpec(spec RunSpec) (RunSummary, *Result) {
 		Index:        spec.Index,
 		Scenario:     spec.Scenario,
 		Perturbation: spec.Perturbation,
+		Events:       spec.Events,
 		CC:           strings.ToLower(eff.CC),
 		Scheduler:    canonicalSchedName(eff.Scheduler),
 		Order:        spec.Options.SubflowPaths,
@@ -673,6 +773,7 @@ func runSpec(spec RunSpec) (RunSummary, *Result) {
 		return summary, nil
 	}
 	summary.OptimumMbps = r.Optimum.Total
+	summary.TargetMbps = r.Summary.Target
 	summary.GreedyMbps = total(r.Greedy)
 	summary.TotalMbps = r.Summary.TotalMean
 	summary.Gap = r.Summary.Gap
@@ -687,7 +788,7 @@ func runSpec(spec RunSpec) (RunSummary, *Result) {
 
 // aggregate fills Groups and the overall Gap from Runs.
 func (r *SweepResult) aggregate() {
-	type key struct{ scenario, pert, cc, sched string }
+	type key struct{ scenario, pert, events, cc, sched string }
 	groups := make(map[key]int)
 	var (
 		orderKeys []key
@@ -698,7 +799,7 @@ func (r *SweepResult) aggregate() {
 	)
 	r.Groups = nil
 	for _, run := range r.Runs {
-		k := key{run.Scenario, run.Perturbation, run.CC, run.Scheduler}
+		k := key{run.Scenario, run.Perturbation, run.Events, run.CC, run.Scheduler}
 		gi, ok := groups[k]
 		if !ok {
 			gi = len(r.Groups)
@@ -707,6 +808,7 @@ func (r *SweepResult) aggregate() {
 			r.Groups = append(r.Groups, GroupStats{
 				Scenario:     run.Scenario,
 				Perturbation: run.Perturbation,
+				Events:       run.Events,
 				CC:           run.CC,
 				Scheduler:    run.Scheduler,
 			})
@@ -748,31 +850,32 @@ func (r *SweepResult) Errs() int {
 // WriteCSV emits one row per run, in grid order.
 func (r *SweepResult) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"index", "scenario", "perturbation", "cc",
-		"scheduler", "order", "seed", "optimum_mbps", "greedy_mbps",
-		"total_mbps", "gap_pct", "converged", "conv_time_s", "post_cov",
-		"err"}); err != nil {
+	if err := cw.Write([]string{"index", "scenario", "perturbation",
+		"events", "cc", "scheduler", "order", "seed", "optimum_mbps",
+		"target_mbps", "greedy_mbps", "total_mbps", "gap_pct", "converged",
+		"conv_time_s", "post_cov", "err"}); err != nil {
 		return err
 	}
 	for _, run := range r.Runs {
 		// Blank, not 0.00, where there is no data: a failed run must not
 		// read as a perfect gap, nor a non-converged one as instant
 		// convergence.
-		metrics := []string{"", "", "", "", "", "", ""}
+		metrics := []string{"", "", "", "", "", "", "", ""}
 		if run.Err == "" {
-			metrics[4] = strconv.FormatBool(run.Converged)
+			metrics[5] = strconv.FormatBool(run.Converged)
 			metrics[0] = fmt.Sprintf("%.2f", run.OptimumMbps)
-			metrics[1] = fmt.Sprintf("%.2f", run.GreedyMbps)
-			metrics[2] = fmt.Sprintf("%.2f", run.TotalMbps)
-			metrics[3] = fmt.Sprintf("%.2f", run.Gap*100)
+			metrics[1] = fmt.Sprintf("%.2f", run.TargetMbps)
+			metrics[2] = fmt.Sprintf("%.2f", run.GreedyMbps)
+			metrics[3] = fmt.Sprintf("%.2f", run.TotalMbps)
+			metrics[4] = fmt.Sprintf("%.2f", run.Gap*100)
 			if run.Converged {
-				metrics[5] = fmt.Sprintf("%.2f", run.ConvergedAtS)
+				metrics[6] = fmt.Sprintf("%.2f", run.ConvergedAtS)
 			}
-			metrics[6] = fmt.Sprintf("%.4f", run.PostCoV)
+			metrics[7] = fmt.Sprintf("%.4f", run.PostCoV)
 		}
 		rec := append([]string{
 			strconv.Itoa(run.Index), run.Scenario, run.Perturbation,
-			run.CC, run.Scheduler, run.OrderString(),
+			run.Events, run.CC, run.Scheduler, run.OrderString(),
 			strconv.FormatInt(run.Seed, 10),
 		}, metrics...)
 		if err := cw.Write(append(rec, run.Err)); err != nil {
@@ -787,7 +890,7 @@ func (r *SweepResult) WriteCSV(w io.Writer) error {
 // scheduler) cell.
 func (r *SweepResult) WriteGroupsCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"scenario", "perturbation", "cc",
+	if err := cw.Write([]string{"scenario", "perturbation", "events", "cc",
 		"scheduler", "runs", "errors", "converged", "mean_gap_pct",
 		"min_gap_pct", "max_gap_pct", "mean_total_mbps",
 		"mean_conv_time_s"}); err != nil {
@@ -807,8 +910,8 @@ func (r *SweepResult) WriteGroupsCSV(w io.Writer) error {
 		if g.Converged > 0 {
 			cells[4] = fmt.Sprintf("%.2f", g.ConvergedAtS.Mean)
 		}
-		rec := append([]string{g.Scenario, g.Perturbation, g.CC, g.Scheduler,
-			strconv.Itoa(g.Runs), strconv.Itoa(g.Errors),
+		rec := append([]string{g.Scenario, g.Perturbation, g.Events, g.CC,
+			g.Scheduler, strconv.Itoa(g.Runs), strconv.Itoa(g.Errors),
 			strconv.Itoa(g.Converged)}, cells...)
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -845,20 +948,24 @@ func (r *SweepResult) Report(w io.Writer) error {
 			best = g.Gap.Mean
 		}
 	}
-	fmt.Fprintf(&sb, "%-10s %-8s %-8s %-10s %5s %5s  %-22s %s\n",
-		"scenario", "pert", "cc", "scheduler", "runs", "conv", "gap mean±std [min,max]", "")
+	fmt.Fprintf(&sb, "%-10s %-8s %-8s %-8s %-10s %5s %5s  %-22s %s\n",
+		"scenario", "pert", "events", "cc", "scheduler", "runs", "conv", "gap mean±std [min,max]", "")
 	for _, g := range r.Groups {
+		events := g.Events
+		if events == "" {
+			events = "static"
+		}
 		if g.Runs == 0 {
-			fmt.Fprintf(&sb, "%-10s %-8s %-8s %-10s %5d %5d  (no completed runs, %d errors)\n",
-				g.Scenario, g.Perturbation, g.CC, g.Scheduler, g.Runs, g.Converged, g.Errors)
+			fmt.Fprintf(&sb, "%-10s %-8s %-8s %-8s %-10s %5d %5d  (no completed runs, %d errors)\n",
+				g.Scenario, g.Perturbation, events, g.CC, g.Scheduler, g.Runs, g.Converged, g.Errors)
 			continue
 		}
 		mark := ""
 		if g.Gap.Mean == best {
 			mark = "  <- best"
 		}
-		fmt.Fprintf(&sb, "%-10s %-8s %-8s %-10s %5d %5d  %5.1f%% ±%4.1f [%5.1f,%5.1f]%s\n",
-			g.Scenario, g.Perturbation, g.CC, g.Scheduler, g.Runs, g.Converged,
+		fmt.Fprintf(&sb, "%-10s %-8s %-8s %-8s %-10s %5d %5d  %5.1f%% ±%4.1f [%5.1f,%5.1f]%s\n",
+			g.Scenario, g.Perturbation, events, g.CC, g.Scheduler, g.Runs, g.Converged,
 			g.Gap.Mean*100, g.Gap.Std*100, g.Gap.Min*100, g.Gap.Max*100, mark)
 	}
 	_, err := io.WriteString(w, sb.String())

@@ -433,10 +433,11 @@ func TestSweepRecordsRunErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, rec := range recs[1:] {
-		if rec[10] != "" || rec[7] != "" || rec[11] != "" {
+		// gap_pct (12), optimum_mbps (8), target_mbps (9), converged (13).
+		if rec[12] != "" || rec[8] != "" || rec[9] != "" || rec[13] != "" {
 			t.Fatalf("failed run has metric cells: %v", rec)
 		}
-		if rec[14] == "" {
+		if rec[16] == "" {
 			t.Fatalf("failed run missing err cell: %v", rec)
 		}
 	}
@@ -506,5 +507,159 @@ func TestSweepCSVEscapesNames(t *testing.T) {
 	}
 	if len(recs) != len(rows) || len(recs[0]) != len(recs[1]) {
 		t.Fatalf("runs CSV misaligned: %v", recs)
+	}
+}
+
+// handoverEvents is a link_down/link_up pair on the paper network's s-v1
+// link for grid tests.
+func handoverEvents() []ScenarioEvent {
+	return []ScenarioEvent{
+		{AtMs: 100, Type: EventLinkDown, A: "s", B: "v1"},
+		{AtMs: 150, Type: EventLinkUp, A: "s", B: "v1"},
+	}
+}
+
+func TestGridEventsAxisExpansion(t *testing.T) {
+	g := &Grid{
+		CCs:   []string{"cubic", "olia"},
+		Seeds: []int64{1, 2},
+		Events: []EventSet{
+			{Name: "static"},
+			{Name: "outage", Events: handoverEvents()},
+		},
+	}
+	specs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2*2*2 {
+		t.Fatalf("expanded %d specs, want 8", len(specs))
+	}
+	// Event sets vary slower than CCs: the first 4 specs are static.
+	for i, s := range specs {
+		want := "static"
+		if i >= 4 {
+			want = "outage"
+		}
+		if s.Events != want {
+			t.Fatalf("spec %d events = %q, want %q", i, s.Events, want)
+		}
+	}
+	if specs[4].Options.CC != "cubic" || specs[6].Options.CC != "olia" {
+		t.Fatalf("cc axis wrong under events: %q, %q", specs[4].Options.CC, specs[6].Options.CC)
+	}
+}
+
+func TestGridEventsAxisValidation(t *testing.T) {
+	for name, g := range map[string]*Grid{
+		"unknown link": {Events: []EventSet{{Name: "bad", Events: []ScenarioEvent{
+			{AtMs: 100, Type: EventLinkDown, A: "s", B: "nowhere"}}}}},
+		"bad type": {Events: []EventSet{{Name: "bad", Events: []ScenarioEvent{
+			{AtMs: 100, Type: "zap", A: "s", B: "v1"}}}}},
+		"negative time": {Events: []EventSet{{Name: "bad", Events: []ScenarioEvent{
+			{AtMs: -1, Type: EventLinkDown, A: "s", B: "v1"}}}}},
+		"up without down": {Events: []EventSet{{Name: "bad", Events: []ScenarioEvent{
+			{AtMs: 100, Type: EventLinkUp, A: "s", B: "v1"}}}}},
+		"duplicate names": {Events: []EventSet{{Name: "x"}, {Name: "x"}}},
+		"unknown scenario filter": {Events: []EventSet{{Name: "x",
+			Scenarios: []string{"papr"}, Events: handoverEvents()}}},
+		"fully excluded scenario": {
+			Scenarios: []GridScenario{{Name: "a", Paper: true}, {Name: "b", Paper: true}},
+			Events:    []EventSet{{Name: "x", Scenarios: []string{"a"}}},
+		},
+	} {
+		if _, err := g.Expand(); err == nil {
+			t.Errorf("%s: accepted at expansion time", name)
+		}
+	}
+}
+
+// TestGridEventTargetsValidatedAgainstPerturbedLinks: event validation
+// runs on the final (perturbed) topology, so a perturbation cannot smuggle
+// a broken event target past expansion.
+func TestGridEventTargetsValidatedAgainstPerturbedLinks(t *testing.T) {
+	g := &Grid{
+		Events: []EventSet{{Name: "outage", Events: handoverEvents()}},
+		Perturbations: []Perturbation{
+			{Name: "base"},
+			{Name: "lossy", Loss: 0.001},
+		},
+	}
+	specs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// base and lossy each cross the outage set.
+	if len(specs) != 2 {
+		t.Fatalf("expanded %d specs, want 2", len(specs))
+	}
+	// The perturbation's loss survives in the event-carrying scenario.
+	if specs[1].scenario.Links[0].Loss == 0 {
+		t.Fatal("perturbation dropped by event-set application")
+	}
+	if len(specs[1].scenario.Events) != 2 {
+		t.Fatal("events dropped by perturbation application")
+	}
+}
+
+// TestSweepDeterminismWithEvents is the acceptance check for the dynamic
+// axis: a grid containing a LinkDown event timeline produces bit-identical
+// output for any worker count.
+func TestSweepDeterminismWithEvents(t *testing.T) {
+	grid := &Grid{
+		CCs:   []string{"cubic", "olia"},
+		Seeds: []int64{1, 2},
+		Events: []EventSet{
+			{Name: "static"},
+			{Name: "outage", Events: []ScenarioEvent{
+				{AtMs: 2000, Type: EventLinkDown, A: "s", B: "v1"},
+			}},
+		},
+	}
+	var outputs []string
+	for _, workers := range []int{1, 8} {
+		res, err := (&Sweep{Workers: workers}).Run(grid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := res.Errs(); n != 0 {
+			t.Fatalf("workers=%d: %d runs failed: %+v", workers, n, res.Runs)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, buf.String())
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatal("event sweep output differs between 1 and 8 workers")
+	}
+	// The outage cells see the piecewise optimum: their gap is measured
+	// against the time-weighted target, so the runs stay comparable.
+	res, err := (&Sweep{Workers: 4}).Run(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 4 {
+		t.Fatalf("groups = %d, want 4 (2 event sets x 2 CCs)", len(res.Groups))
+	}
+	for _, g := range res.Groups {
+		if g.Events != "static" && g.Events != "outage" {
+			t.Fatalf("group events label %q", g.Events)
+		}
+	}
+	// TargetMbps reconciles the exported Gap with the exported totals:
+	// static cells target the LP optimum, outage cells the (lower)
+	// time-weighted piecewise optimum.
+	for _, run := range res.Runs {
+		if run.Events == "static" && run.TargetMbps != run.OptimumMbps {
+			t.Fatalf("static run target %v != optimum %v", run.TargetMbps, run.OptimumMbps)
+		}
+		if run.Events == "outage" && run.TargetMbps >= run.OptimumMbps {
+			t.Fatalf("outage run target %v not below optimum %v", run.TargetMbps, run.OptimumMbps)
+		}
+		if got := 1 - run.TotalMbps/run.TargetMbps; math.Abs(got-run.Gap) > 1e-9 {
+			t.Fatalf("gap %v does not reconcile with total/target (%v)", run.Gap, got)
+		}
 	}
 }
