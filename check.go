@@ -1,0 +1,115 @@
+package mptcpsim
+
+// Run-level invariant checks that need the analytic baselines and the
+// MPTCP endpoints — the engine-level audits (conservation, capacity,
+// FIFO) live in internal/check and attach through the netem tap points.
+
+import (
+	"fmt"
+
+	"mptcpsim/internal/mptcp"
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/stats"
+)
+
+const (
+	// runGapTol is how far the measured mean may exceed the LP target
+	// (a negative optimality gap) before the run is flagged. The measured
+	// series bins at SampleInterval and the measurement window clips the
+	// slow-start transient, so tiny negative gaps are measurement noise;
+	// anything beyond this is the simulator beating a proven optimum.
+	runGapTol = 0.02
+	// epochGapTolFloor is the per-epoch equivalent. Epochs are short, so
+	// binning noise is proportionally larger, and queues filled in an
+	// earlier epoch legitimately drain into a slower one — the check adds
+	// a data-derived drain allowance on top of this floor.
+	epochGapTolFloor = 0.05
+)
+
+// drainSlackBytes bounds the bytes that can reach the receiver in one
+// epoch beyond the epoch's own optimum: everything parked in queues plus
+// everything on the wire when the epoch began.
+func drainSlackBytes(net *netem.Network) float64 {
+	var slack float64
+	for _, l := range net.Links() {
+		slack += float64(l.QueueCap())
+		slack += float64(l.Spec.Rate.Bytes(l.Spec.Delay))
+	}
+	return slack
+}
+
+// gapInvariants checks that measurement never beats the proven optimum:
+// the LP gap must stay non-negative (within tolerance) for the whole run
+// and inside every capacity epoch long enough to measure.
+func gapInvariants(res *Result, slackBytes float64) []string {
+	var v []string
+	runTol := runGapTol
+	if len(res.Epochs) > 1 && res.Summary.Target > 0 {
+		// Dynamic runs: bytes queued during a fast epoch legitimately
+		// drain into a slower one and arrive on top of the (already
+		// lowered) piecewise target, so grant the same drain allowance
+		// the per-epoch check gets, scaled to the measurement window —
+		// the same bin-aligned window the mean and the piecewise target
+		// integrate over.
+		from, horizon := stats.MeasureWindow(res.Options.Duration, res.Options.SampleInterval)
+		if window := horizon - from; window > 0 {
+			runTol += slackBytes * 8 / (res.Summary.Target * 1e6 * window.Seconds())
+		}
+	}
+	if res.Summary.Target > 0 && res.Summary.Gap < -runTol {
+		v = append(v, fmt.Sprintf(
+			"gap: measured %.2f Mbps beats the piecewise LP target %.2f Mbps (gap %.2f%%, tol %.2f%%)",
+			res.Summary.TotalMean, res.Summary.Target, res.Summary.Gap*100, runTol*100))
+	}
+	for i, ep := range res.Epochs {
+		// The epoch is measured over the whole bins strictly inside it
+		// (stats.SummarizeEpoch); epochs with fewer than two such bins
+		// cannot be checked against their own optimum — the fallback bin
+		// mixes in the neighbouring epochs' traffic.
+		step := res.Options.SampleInterval
+		cf, ct := stats.EpochWindow(ep.Start, ep.End, step)
+		win := ct - cf
+		if ep.Optimum.Total <= 0 || win < 2*step {
+			continue
+		}
+		// The drain allowance concentrates in the measured window: all the
+		// bytes queued before a capacity cut arrive during its first bins.
+		tol := epochGapTolFloor + slackBytes*8/(ep.Optimum.Total*1e6*win.Seconds())
+		if ep.Gap < -tol {
+			v = append(v, fmt.Sprintf(
+				"gap: epoch %d [%v,%v): measured %.2f Mbps beats its LP optimum %.2f Mbps (gap %.2f%%, tol %.2f%%)",
+				i+1, ep.Start, ep.End, ep.TotalMean, ep.Optimum.Total, ep.Gap*100, tol*100))
+		}
+	}
+	return v
+}
+
+// dataInvariants checks MPTCP data-level conservation between the two
+// endpoints: the receiver can never account for more payload than the
+// sender transmitted, in-order delivery must equal the cumulative data
+// ACK, and the ACK can never pass the sender's assignment cursor.
+func dataInvariants(conn *mptcp.Conn, acc *mptcp.Acceptor) []string {
+	var v []string
+	sent := conn.SentPayloadBytes()
+	assigned := conn.AssignedBytes()
+	var accounted uint64
+	for _, rc := range acc.Conns() {
+		accounted += rc.Delivered + rc.DupBytes + rc.OOOBytes()
+		if rc.Delivered != rc.DataAck() {
+			v = append(v, fmt.Sprintf(
+				"data: delivered %d bytes but data-ACK is %d (reassembly handed out a gap)",
+				rc.Delivered, rc.DataAck()))
+		}
+		if rc.DataAck() > assigned {
+			v = append(v, fmt.Sprintf(
+				"data: data-ACK %d passed the sender's assignment cursor %d",
+				rc.DataAck(), assigned))
+		}
+	}
+	if accounted > sent {
+		v = append(v, fmt.Sprintf(
+			"data: receiver accounts for %d payload bytes, sender transmitted only %d",
+			accounted, sent))
+	}
+	return v
+}

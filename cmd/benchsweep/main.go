@@ -38,14 +38,9 @@ type report struct {
 	GoVersion  string  `json:"go_version"`
 }
 
-func main() {
-	var (
-		out     = flag.String("out", "BENCH_sweep.json", "output JSON path (- for stdout)")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "sweep worker goroutines")
-		seeds   = flag.Int("seeds", 3, "seeds 1..n per cell")
-	)
-	flag.Parse()
-
+// benchGrid is the fixed reference workload: two CCs, two orderings, one
+// static and one outage event set, 1 s of traffic per run, n seeds each.
+func benchGrid(seeds int) *mptcpsim.Grid {
 	grid := &mptcpsim.Grid{
 		CCs:        []string{"cubic", "olia"},
 		Orders:     [][]int{{2, 1, 3}, {1, 2, 3}},
@@ -58,30 +53,45 @@ func main() {
 			}},
 		},
 	}
-	for s := 1; s <= *seeds; s++ {
+	for s := 1; s <= seeds; s++ {
 		grid.Seeds = append(grid.Seeds, int64(s))
 	}
+	return grid
+}
 
+// buildReport derives the artifact from a finished sweep.
+func buildReport(res *mptcpsim.SweepResult, grid *mptcpsim.Grid, workers int, wall float64) report {
+	return report{
+		Name:          "sweep",
+		Workers:       workers,
+		Runs:          len(res.Runs),
+		Errors:        res.Errs(),
+		WallSeconds:   wall,
+		RunsPerSecond: float64(len(res.Runs)) / wall,
+		SimSecondsPerSecond: float64(len(res.Runs)) *
+			(grid.DurationMs / 1000) / wall,
+		MeanGapPct: res.Gap.Mean * 100,
+		GoVersion:  runtime.Version(),
+	}
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_sweep.json", "output JSON path (- for stdout)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "sweep worker goroutines")
+		seeds   = flag.Int("seeds", 3, "seeds 1..n per cell")
+	)
+	flag.Parse()
+
+	grid := benchGrid(*seeds)
 	start := time.Now()
 	res, err := (&mptcpsim.Sweep{Workers: *workers}).Run(grid)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsweep:", err)
 		os.Exit(1)
 	}
-	wall := time.Since(start).Seconds()
+	r := buildReport(res, grid, *workers, time.Since(start).Seconds())
 
-	r := report{
-		Name:          "sweep",
-		Workers:       *workers,
-		Runs:          len(res.Runs),
-		Errors:        res.Errs(),
-		WallSeconds:   wall,
-		RunsPerSecond: float64(len(res.Runs)) / wall,
-		SimSecondsPerSecond: float64(len(res.Runs)) *
-			(float64(grid.DurationMs) / 1000) / wall,
-		MeanGapPct: res.Gap.Mean * 100,
-		GoVersion:  runtime.Version(),
-	}
 	enc, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsweep:", err)

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"mptcpsim"
+)
+
+func TestBenchGridShape(t *testing.T) {
+	grid := benchGrid(3)
+	specs, err := grid.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 CCs x 2 orders x 2 event sets x 3 seeds.
+	if len(specs) != 24 {
+		t.Fatalf("bench grid expands to %d runs, want 24", len(specs))
+	}
+}
+
+// The artifact schema is a contract with the CI trajectory: field names
+// and their population must not drift silently.
+func TestReportSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real (reduced) sweep")
+	}
+	grid := benchGrid(1)
+	res, err := (&mptcpsim.Sweep{Workers: 4}).Run(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := buildReport(res, grid, 4, 2.0)
+	if r.Runs != 8 || r.Errors != 0 {
+		t.Fatalf("runs=%d errors=%d, want 8/0", r.Runs, r.Errors)
+	}
+	if r.RunsPerSecond != 4 || r.SimSecondsPerSecond != 4 {
+		t.Fatalf("throughput fields wrong: %+v", r)
+	}
+	if r.MeanGapPct <= 0 || r.MeanGapPct >= 100 {
+		t.Fatalf("mean gap %.2f%% implausible", r.MeanGapPct)
+	}
+
+	enc, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fields map[string]any
+	if err := json.Unmarshal(enc, &fields); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"name", "workers", "runs", "errors",
+		"wall_seconds", "runs_per_second", "sim_seconds_per_second",
+		"mean_gap_pct", "go_version"} {
+		if _, ok := fields[key]; !ok {
+			t.Errorf("artifact lost field %q", key)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Command simcheck is the randomized correctness harness: it generates N
+// pseudo-random scenarios (seeded topologies with overlapping paths,
+// congestion-control/scheduler/ordering draws, and valid dynamic-event
+// timelines), runs each one twice with the invariant oracle attached, and
+// asserts on every run:
+//
+//   - packet conservation per link, per flow and network-wide (including
+//     link_down queue drains and frames cut mid-serialisation);
+//   - per-epoch wire bytes within every link's capacity budget;
+//   - FIFO arrival order on every link, across runtime delay changes;
+//   - a non-negative optimality gap against the (piecewise) LP optimum;
+//   - replay determinism: both runs must produce an identical canonical
+//     Result hash.
+//
+// The report is deterministic: identical bytes for a given (-n, -seed)
+// across reruns and across -workers values, so CI can diff two
+// invocations. Exit status is non-zero if any scenario fails.
+//
+//	simcheck -n 200 -seed 1
+//	simcheck -n 50 -seed 7 -workers 4 -q
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+
+	"mptcpsim"
+	"mptcpsim/internal/check"
+)
+
+// runEventLimit aborts any single run after this many simulation events —
+// a runaway guard so one pathological draw fails fast instead of wedging
+// the harness.
+const runEventLimit = 100_000_000
+
+// outcome is one scenario's verdict.
+type outcome struct {
+	ok   bool
+	line string
+}
+
+// checkSpec runs one generated spec twice — once under the oracle, once
+// plain — and verdicts it: build + run errors, invariant violations, and
+// replay-hash divergence all fail.
+func checkSpec(i int, base int64) outcome {
+	sp := check.NewSpec(check.SpecSeed(base, i))
+	fail := func(format string, args ...any) outcome {
+		return outcome{line: fmt.Sprintf("%4d FAIL seed=%-19d %s: %s",
+			i, sp.Seed, sp.Name, fmt.Sprintf(format, args...))}
+	}
+	opts := mptcpsim.Options{
+		CC: sp.CC, Scheduler: sp.Scheduler, SubflowPaths: sp.Order,
+		Seed: sp.RunSeed, Duration: sp.Duration, QueueScale: sp.QueueScale,
+		EventLimit: runEventLimit,
+	}
+	run := func(validate bool) (*mptcpsim.Result, error) {
+		nw, err := mptcpsim.LoadNetwork(bytes.NewReader(sp.Scenario))
+		if err != nil {
+			return nil, fmt.Errorf("build: %w", err)
+		}
+		o := opts
+		o.ValidateInvariants = validate
+		return mptcpsim.Run(nw, o)
+	}
+	checked, err := run(true)
+	if err != nil {
+		return fail("%v", err)
+	}
+	if len(checked.Invariants) > 0 {
+		return fail("invariants: %s", strings.Join(checked.Invariants, "; "))
+	}
+	replay, err := run(false)
+	if err != nil {
+		return fail("replay: %v", err)
+	}
+	h := checked.Hash()
+	if rh := replay.Hash(); rh != h {
+		return fail("replay hash %.12s != %.12s (non-deterministic run)", rh, h)
+	}
+	return outcome{ok: true, line: fmt.Sprintf("%4d ok   seed=%-19d hash=%.12s %s",
+		i, sp.Seed, h, sp.Name)}
+}
+
+// runCheck executes n scenarios across a worker pool and writes the
+// deterministic report to w. It returns the number of failed scenarios.
+// The report contains no wall-clock or worker-count data, so its bytes
+// are identical for a given (n, seed) whatever the pool size.
+func runCheck(n int, seed int64, workers int, quiet bool, w io.Writer) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]outcome, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = checkSpec(i, seed)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	fmt.Fprintf(w, "simcheck: %d scenarios, base seed %d\n", n, seed)
+	failed := 0
+	for _, r := range results {
+		if !r.ok {
+			failed++
+		}
+		if !quiet || !r.ok {
+			fmt.Fprintln(w, r.line)
+		}
+	}
+	fmt.Fprintf(w, "simcheck: %d/%d scenarios passed", n-failed, n)
+	if failed > 0 {
+		fmt.Fprintf(w, ", %d FAILED", failed)
+	}
+	fmt.Fprintln(w)
+	return failed
+}
+
+func main() {
+	var (
+		n       = flag.Int("n", 200, "number of random scenarios")
+		seed    = flag.Int64("seed", 1, "base seed; scenario i uses check.SpecSeed(seed, i)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel worker goroutines")
+		quiet   = flag.Bool("q", false, "only print failing scenarios and the summary")
+	)
+	flag.Parse()
+	if *n <= 0 {
+		fmt.Fprintln(os.Stderr, "simcheck: -n must be positive")
+		os.Exit(2)
+	}
+	if runCheck(*n, *seed, *workers, *quiet, os.Stdout) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The acceptance property: the report is identical bytes across reruns
+// and across worker counts.
+func TestReportDeterministicAcrossWorkers(t *testing.T) {
+	const n, seed = 12, 1
+	var a, b, c bytes.Buffer
+	if failed := runCheck(n, seed, 1, false, &a); failed != 0 {
+		t.Fatalf("%d scenarios failed:\n%s", failed, a.String())
+	}
+	if failed := runCheck(n, seed, 4, false, &b); failed != 0 {
+		t.Fatalf("%d scenarios failed with 4 workers:\n%s", failed, b.String())
+	}
+	if failed := runCheck(n, seed, 4, false, &c); failed != 0 {
+		t.Fatalf("%d scenarios failed on rerun:\n%s", failed, c.String())
+	}
+	if a.String() != b.String() {
+		t.Fatal("report differs between 1 and 4 workers")
+	}
+	if b.String() != c.String() {
+		t.Fatal("report differs across reruns")
+	}
+	if got := strings.Count(a.String(), "\n"); got != n+2 {
+		t.Fatalf("report has %d lines, want %d scenario lines + header + summary", got, n+2)
+	}
+}
+
+func TestQuietReportsOnlySummary(t *testing.T) {
+	var buf bytes.Buffer
+	if failed := runCheck(3, 2, 2, true, &buf); failed != 0 {
+		t.Fatalf("%d scenarios failed:\n%s", failed, buf.String())
+	}
+	out := buf.String()
+	if strings.Count(out, "\n") != 2 {
+		t.Fatalf("quiet report should be header + summary only:\n%s", out)
+	}
+	if !strings.Contains(out, "3/3 scenarios passed") {
+		t.Fatalf("summary missing:\n%s", out)
+	}
+}

@@ -27,12 +27,14 @@
 //
 // Output is deterministic for a given grid regardless of -workers: run
 // indices follow grid expansion order and contain no wall-clock data.
+// -check attaches the invariant oracle to every run; a violation fails
+// the run like any other error.
 //
 // Examples:
 //
 //	sweep -workers 8
 //	sweep -grid grid.json -csv runs.csv -groups groups.csv -json sweep.json
-//	sweep -seeds 5 -duration 8s -quiet
+//	sweep -seeds 5 -duration 8s -quiet -check
 package main
 
 import (
@@ -47,34 +49,56 @@ import (
 	"mptcpsim"
 )
 
+// config carries the resolved command line.
+type config struct {
+	gridPath   string
+	workers    int
+	seeds      int
+	duration   time.Duration
+	csvPath    string
+	groupsPath string
+	jsonPath   string
+	quiet      bool
+	check      bool
+}
+
 func main() {
-	var (
-		gridPath   = flag.String("grid", "", "JSON grid spec (default: built-in paper grid, all CCs x 4 orderings)")
-		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel worker goroutines")
-		seeds      = flag.Int("seeds", 1, "seeds 1..n (ignored when the grid file lists seeds)")
-		duration   = flag.Duration("duration", 0, "traffic duration override (0 = grid / 4s default)")
-		csvPath    = flag.String("csv", "", "write the per-run table to this CSV file")
-		groupsPath = flag.String("groups", "", "write the aggregate table to this CSV file")
-		jsonPath   = flag.String("json", "", "write the full result (runs + groups) to this JSON file")
-		quiet      = flag.Bool("quiet", false, "suppress per-run progress lines")
-	)
+	var cfg config
+	flag.StringVar(&cfg.gridPath, "grid", "", "JSON grid spec (default: built-in paper grid, all CCs x 4 orderings)")
+	flag.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "parallel worker goroutines")
+	flag.IntVar(&cfg.seeds, "seeds", 1, "seeds 1..n (ignored when the grid file lists seeds)")
+	flag.DurationVar(&cfg.duration, "duration", 0, "traffic duration override (0 = grid / 4s default)")
+	flag.StringVar(&cfg.csvPath, "csv", "", "write the per-run table to this CSV file")
+	flag.StringVar(&cfg.groupsPath, "groups", "", "write the aggregate table to this CSV file")
+	flag.StringVar(&cfg.jsonPath, "json", "", "write the full result (runs + groups) to this JSON file")
+	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress per-run progress lines")
+	flag.BoolVar(&cfg.check, "check", false, "validate correctness invariants on every run")
 	flag.Parse()
 
-	grid, err := loadGrid(*gridPath)
-	if err != nil {
-		fatal(err)
+	if err := run(cfg, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
 	}
-	if len(grid.Seeds) == 0 && *seeds > 1 {
-		for s := 1; s <= *seeds; s++ {
+}
+
+// run executes the whole command against the given streams: progress and
+// timing go to stderr, the deterministic report to stdout.
+func run(cfg config, stdout, stderr io.Writer) error {
+	grid, err := loadGrid(cfg.gridPath)
+	if err != nil {
+		return err
+	}
+	if len(grid.Seeds) == 0 && cfg.seeds > 1 {
+		for s := 1; s <= cfg.seeds; s++ {
 			grid.Seeds = append(grid.Seeds, int64(s))
 		}
 	}
-	if *duration > 0 {
-		grid.DurationMs = float64(*duration) / float64(time.Millisecond)
+	if cfg.duration > 0 {
+		grid.DurationMs = float64(cfg.duration) / float64(time.Millisecond)
 	}
 
-	sweep := &mptcpsim.Sweep{Workers: *workers}
-	if !*quiet {
+	sweep := &mptcpsim.Sweep{Workers: cfg.workers, ValidateInvariants: cfg.check}
+	if !cfg.quiet {
 		sweep.OnResult = func(done, total int, r mptcpsim.RunSummary) {
 			status := fmt.Sprintf("gap %5.1f%%", r.Gap*100)
 			if r.Converged {
@@ -83,7 +107,7 @@ func main() {
 			if r.Err != "" {
 				status = "error: " + r.Err
 			}
-			fmt.Fprintf(os.Stderr, "[%3d/%d] %s/%s/%s cc=%-6s sched=%-10s order=%-7s seed=%d  %s\n",
+			fmt.Fprintf(stderr, "[%3d/%d] %s/%s/%s cc=%-6s sched=%-10s order=%-7s seed=%d  %s\n",
 				done, total, r.Scenario, r.Perturbation, r.Events, r.CC,
 				r.Scheduler, r.OrderString(), r.Seed, status)
 		}
@@ -92,17 +116,29 @@ func main() {
 	start := time.Now()
 	res, err := sweep.Run(grid)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "completed %d runs in %v with %d workers\n",
-		len(res.Runs), time.Since(start).Round(time.Millisecond), *workers)
+	fmt.Fprintf(stderr, "completed %d runs in %v with %d workers\n",
+		len(res.Runs), time.Since(start).Round(time.Millisecond), cfg.workers)
 
-	if err := res.Report(os.Stdout); err != nil {
-		fatal(err)
+	if err := report(res, cfg, stdout); err != nil {
+		return err
+	}
+	if n := res.Errs(); n > 0 {
+		return fmt.Errorf("%d of %d runs failed", n, len(res.Runs))
+	}
+	return nil
+}
+
+// report renders the aggregate table and the best run to stdout and
+// writes the requested output files.
+func report(res *mptcpsim.SweepResult, cfg config, stdout io.Writer) error {
+	if err := res.Report(stdout); err != nil {
+		return err
 	}
 	if idx := res.SortRunsByGap(); len(idx) > 0 {
 		best := res.Runs[idx[0]]
-		fmt.Printf("\nbest run: %s/%s cc=%s order=%s seed=%d at %.1f of %.1f Mbps (gap %.1f%%)\n",
+		fmt.Fprintf(stdout, "\nbest run: %s/%s cc=%s order=%s seed=%d at %.1f of %.1f Mbps (gap %.1f%%)\n",
 			best.Scenario, best.Perturbation, best.CC, best.OrderString(),
 			best.Seed, best.TotalMbps, best.OptimumMbps, best.Gap*100)
 	}
@@ -111,22 +147,19 @@ func main() {
 		path string
 		fn   func(io.Writer) error
 	}{
-		{*csvPath, res.WriteCSV},
-		{*groupsPath, res.WriteGroupsCSV},
-		{*jsonPath, res.WriteJSON},
+		{cfg.csvPath, res.WriteCSV},
+		{cfg.groupsPath, res.WriteGroupsCSV},
+		{cfg.jsonPath, res.WriteJSON},
 	} {
 		if out.path == "" {
 			continue
 		}
 		if err := writeFile(out.path, out.fn); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println("wrote", out.path)
+		fmt.Fprintln(stdout, "wrote", out.path)
 	}
-	if n := res.Errs(); n > 0 {
-		fmt.Fprintf(os.Stderr, "sweep: %d of %d runs failed\n", n, len(res.Runs))
-		os.Exit(1)
-	}
+	return nil
 }
 
 // loadGrid reads the grid spec and resolves scenario file references
@@ -189,9 +222,4 @@ func writeFile(path string, fn func(w io.Writer) error) error {
 		return err
 	}
 	return f.Close()
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sweep:", err)
-	os.Exit(1)
 }

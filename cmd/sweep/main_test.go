@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mptcpsim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestDefaultGridShape(t *testing.T) {
+	grid, err := loadGrid("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := grid.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 24 {
+		t.Fatalf("default grid expands to %d runs, want 24 (6 CCs x 4 orders)", len(specs))
+	}
+}
+
+func TestLoadGridResolvesFileReferences(t *testing.T) {
+	dir := t.TempDir()
+	scenario, err := json.Marshal(mptcpsim.PaperScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "net.json"), scenario, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gridJSON := `{"scenarios": [{"file": "net.json"}], "ccs": ["cubic"]}`
+	gridPath := filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(gridPath, []byte(gridJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	grid, err := loadGrid(gridPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.Scenarios[0].Scenario == nil || grid.Scenarios[0].File != "" {
+		t.Fatalf("file reference not resolved inline: %+v", grid.Scenarios[0])
+	}
+	if grid.Scenarios[0].Name != "net.json" {
+		t.Fatalf("scenario name = %q, want the path as written", grid.Scenarios[0].Name)
+	}
+	if _, err := grid.Expand(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadGridMissingFile(t *testing.T) {
+	dir := t.TempDir()
+	gridPath := filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(gridPath, []byte(`{"scenarios":[{"file":"absent.json"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadGrid(gridPath); err == nil {
+		t.Fatal("missing scenario file not reported")
+	}
+}
+
+// goldenGrid is a tiny deterministic sweep the golden files are built
+// from: 300 ms runs, one static and one dynamic cell.
+const goldenGrid = `{
+  "ccs": ["cubic", "olia"],
+  "orders": [[2, 1, 3]],
+  "duration_ms": 300,
+  "events": [
+    {"name": "static"},
+    {"name": "outage", "events": [
+      {"at_ms": 100, "type": "link_down", "a": "s", "b": "v1"},
+      {"at_ms": 200, "type": "link_up", "a": "s", "b": "v1"}]}
+  ]
+}`
+
+// TestRunGolden executes the whole command against the golden grid and
+// compares every output byte for byte: the human report on stdout, the
+// per-run CSV, the groups CSV and the JSON document. Regenerate with
+// go test ./cmd/sweep -update (and review the diff as a behaviour
+// change).
+func TestRunGolden(t *testing.T) {
+	dir := t.TempDir()
+	gridPath := filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(gridPath, []byte(goldenGrid), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := config{
+		gridPath:   gridPath,
+		workers:    4,
+		quiet:      true,
+		check:      true,
+		csvPath:    filepath.Join(dir, "runs.csv"),
+		groupsPath: filepath.Join(dir, "groups.csv"),
+		jsonPath:   filepath.Join(dir, "sweep.json"),
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run(cfg, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+
+	// The report references the temp paths; strip the "wrote ..." lines
+	// before comparing.
+	var reportLines []string
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		if strings.HasPrefix(line, "wrote ") {
+			continue
+		}
+		reportLines = append(reportLines, line)
+	}
+	compareGolden(t, "report.txt", []byte(strings.Join(reportLines, "\n")))
+	for _, name := range []string{"runs.csv", "groups.csv", "sweep.json"} {
+		got, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareGolden(t, name, got)
+	}
+
+	// Shape checks independent of the golden bytes: every CSV row parses
+	// and carries the full column set.
+	f, err := os.Open(filepath.Join(dir, "runs.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 { // header + 2 CCs x 2 event sets
+		t.Fatalf("runs.csv has %d rows, want 5", len(rows))
+	}
+	wantHeader := "index,scenario,perturbation,events,cc,scheduler,order,seed"
+	if got := strings.Join(rows[0][:8], ","); got != wantHeader {
+		t.Fatalf("runs.csv header starts %q, want %q", got, wantHeader)
+	}
+}
+
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file %s:\n--- got ---\n%s\n--- want ---\n%s",
+			name, path, got, want)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"mptcpsim/internal/capture"
 	"mptcpsim/internal/cc"
+	"mptcpsim/internal/check"
 	"mptcpsim/internal/lp"
 	"mptcpsim/internal/mptcp"
 	"mptcpsim/internal/netem"
@@ -109,14 +110,18 @@ func Run(nw *Network, opts Options) (*Result, error) {
 	}
 	// The optimality target: the epoch optimum, time-weighted over the
 	// measurement window (the run minus the slow-start transient). For a
-	// single epoch this is that epoch's optimum, bit for bit.
+	// single epoch this is that epoch's optimum, bit for bit. The window
+	// is the binned one the measured mean actually covers — whole capture
+	// bins from the (bin-aligned) end of the transient to the last full
+	// bin — so measured and target integrate over the same interval and
+	// the gap invariant (measured ≤ target + drain) is meaningful.
 	target := epochBase[0].Solution.Objective
 	if len(epochStarts) > 1 {
-		measureFrom := opts.Duration / 10
+		measureFrom, horizon := stats.MeasureWindow(opts.Duration, opts.SampleInterval)
 		var acc float64
 		for i, st := range epochStarts {
-			en := opts.Duration
-			if i+1 < len(epochStarts) {
+			en := horizon
+			if i+1 < len(epochStarts) && epochStarts[i+1] < en {
 				en = epochStarts[i+1]
 			}
 			if st < measureFrom {
@@ -126,7 +131,9 @@ func Run(nw *Network, opts Options) (*Result, error) {
 				acc += epochBase[i].Solution.Objective * float64(en-st)
 			}
 		}
-		target = acc / float64(opts.Duration-measureFrom)
+		if horizon > measureFrom {
+			target = acc / float64(horizon-measureFrom)
+		}
 	}
 
 	// Scale queues in place for this run, restoring the original values
@@ -160,11 +167,23 @@ func Run(nw *Network, opts Options) (*Result, error) {
 
 	// Engine.
 	loop := sim.NewLoop()
+	if opts.EventLimit > 0 {
+		loop.SetEventLimit(opts.EventLimit)
+	}
 	rng := sim.NewRand(opts.Seed)
 	table := route.NewTagTable(g)
 	net, err := netem.New(loop, g, table)
 	if err != nil {
 		return nil, err
+	}
+	// The invariant oracle attaches first so it observes every packet of
+	// the run. It only watches tap points — it schedules nothing and
+	// consumes no randomness — so a validated run stays bit-identical to
+	// an unvalidated one.
+	var oracle *check.Oracle
+	if opts.ValidateInvariants {
+		oracle = check.NewOracle(net, check.BuildEpochs(g, epochStarts, opts.Duration,
+			func(st time.Duration) map[topo.LinkID]float64 { return tl.CapsAt(st, g) }))
 	}
 	// Sorted iteration: ranging over the map directly would hand out
 	// rng.Fork() streams in random order, making runs with several lossy
@@ -314,6 +333,7 @@ func Run(nw *Network, opts Options) (*Result, error) {
 	if err := loop.RunUntil(sim.Time(opts.Duration)); err != nil {
 		return nil, err
 	}
+	res.LoopEvents = loop.Processed()
 
 	// Collect per-path series in path order (not subflow order).
 	pathSeries := make([]*trace.Series, nw.NumPaths())
@@ -386,6 +406,7 @@ func Run(nw *Network, opts Options) (*Result, error) {
 		if sf.TCP != nil {
 			st := sf.TCP.Stats
 			r.SentSegments = st.SentSegments
+			r.SentBytes = st.SentBytes
 			r.Retransmits = st.Retransmits
 			r.RTOs = st.RTOs
 			r.FastRecoveries = st.FastRecovery
@@ -418,6 +439,12 @@ func Run(nw *Network, opts Options) (*Result, error) {
 	}
 	if opts.RetainPackets {
 		res.records = sniff.Records()
+	}
+	if oracle != nil {
+		v := oracle.Violations()
+		v = append(v, gapInvariants(res, drainSlackBytes(net))...)
+		v = append(v, dataInvariants(conn, acc)...)
+		res.Invariants = v
 	}
 	return res, nil
 }

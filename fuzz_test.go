@@ -1,0 +1,72 @@
+package mptcpsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzScenarioRoundTrip asserts the scenario format's contract on
+// arbitrary input: parsing never panics, and any input that builds
+// re-emits to a scenario that builds to the same export — parse → build →
+// re-emit is a fixpoint.
+func FuzzScenarioRoundTrip(f *testing.F) {
+	seed := func(sf *ScenarioFile) {
+		js, err := json.Marshal(sf)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(js)
+	}
+	seed(PaperScenario())
+	dynamic := PaperScenario()
+	dynamic.Events = []ScenarioEvent{
+		{AtMs: 500, Type: EventLossBurst, A: "s", B: "v1", Loss: 0.3, DurationMs: 100},
+		{AtMs: 1000, Type: EventSetRate, A: "v3", B: "v4", Mbps: 20},
+		{AtMs: 2000, Type: EventLinkDown, A: "s", B: "v1"},
+		{AtMs: 3000, Type: EventLinkUp, A: "s", B: "v1"},
+	}
+	dynamic.Links[0].Loss = 0.01
+	dynamic.Links[1].QueueBytes = 32768
+	dynamic.Paths[0].Name = "upper"
+	seed(dynamic)
+	f.Add([]byte(`{"links":[{"a":"s","b":"d","mbps":1e308,"delay_ms":1}],` +
+		`"endpoints":{"src":"s","dst":"d"},"paths":[{"nodes":["s","d"]}]}`))
+	f.Add([]byte(`{"links":[{"a":"s","b":"d","mbps":10,"delay_ms":1}],` +
+		`"endpoints":{"src":"s","dst":"d"},"paths":[{"nodes":["s","d"]}],` +
+		`"events":[{"at_ms":1e300,"type":"link_down","a":"s","b":"d"}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sf, err := LoadScenario(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		nw, err := sf.Build()
+		if err != nil {
+			return
+		}
+		out1, err := nw.Scenario()
+		if err != nil {
+			t.Fatalf("built network failed to export: %v", err)
+		}
+		js1, err := json.Marshal(out1)
+		if err != nil {
+			t.Fatalf("marshal export: %v", err)
+		}
+		nw2, err := out1.Build()
+		if err != nil {
+			t.Fatalf("re-emitted scenario failed to build: %v\nexport: %s", err, js1)
+		}
+		out2, err := nw2.Scenario()
+		if err != nil {
+			t.Fatalf("second export failed: %v", err)
+		}
+		js2, err := json.Marshal(out2)
+		if err != nil {
+			t.Fatalf("marshal second export: %v", err)
+		}
+		if !bytes.Equal(js1, js2) {
+			t.Fatalf("parse→build→re-emit is not a fixpoint:\nfirst:  %s\nsecond: %s", js1, js2)
+		}
+	})
+}

@@ -1,0 +1,246 @@
+package check
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/packet"
+	"mptcpsim/internal/route"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/topo"
+	"mptcpsim/internal/unit"
+)
+
+// lineNet builds a -> b -> c with a tag-1 route plus reverse, and a
+// payload sink at c.
+func lineNet(t *testing.T, rate unit.Rate, delay time.Duration) (*sim.Loop, *netem.Network, *netem.Node, packet.Addr, packet.Addr) {
+	t.Helper()
+	g := topo.New()
+	a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
+	ab := g.AddLink(a, b, rate, delay, 0)
+	bc := g.AddLink(b, c, rate, delay, 0)
+	g.AddLink(c, b, rate, delay, 0)
+	g.AddLink(b, a, rate, delay, 0)
+
+	loop := sim.NewLoop()
+	tt := route.NewTagTable(g)
+	net, err := netem.New(loop, g, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aAddr, cAddr := net.AssignAddr(a), net.AssignAddr(c)
+	fwd := topo.Path{Nodes: []topo.NodeID{a, b, c}, Links: []topo.LinkID{ab, bc}}
+	if err := tt.AddPath(cAddr, 1, fwd); err != nil {
+		t.Fatal(err)
+	}
+	rev, err := topo.ReversePath(g, fwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tt.AddPath(aAddr, 1, rev); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Node(c).Register(9001, netem.HandlerFunc(func(*packet.Packet) {})); err != nil {
+		t.Fatal(err)
+	}
+	return loop, net, net.Node(a), aAddr, cAddr
+}
+
+func dataPkt(src, dst packet.Addr, payload int) *packet.Packet {
+	return &packet.Packet{
+		IP:         packet.IPv4{Tag: 1, Proto: packet.ProtoUDP, Src: src, Dst: dst},
+		UDP:        &packet.UDP{SrcPort: 9000, DstPort: 9001},
+		PayloadLen: payload,
+	}
+}
+
+func staticEpochs(g *topo.Graph, dur time.Duration) []EpochCaps {
+	return BuildEpochs(g, nil, dur, nil)
+}
+
+func TestOracleCleanRun(t *testing.T) {
+	loop, net, src, aAddr, cAddr := lineNet(t, 10*unit.Mbps, time.Millisecond)
+	o := NewOracle(net, staticEpochs(net.Graph, 200*time.Millisecond))
+	for i := 0; i < 50; i++ {
+		loop.Schedule(time.Duration(i)*time.Millisecond, func() {
+			src.Send(dataPkt(aAddr, cAddr, 1000))
+		})
+	}
+	if err := loop.RunUntil(sim.Time(200 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if v := o.Violations(); len(v) != 0 {
+		t.Fatalf("clean run reported violations: %v", v)
+	}
+	if o.sentTotal != 50 || o.deliveredTotal != 50 {
+		t.Fatalf("sent %d delivered %d, want 50/50", o.sentTotal, o.deliveredTotal)
+	}
+}
+
+// A run cut off mid-flight must still conserve: packets in queues, on the
+// wire, or mid-serialisation are the residual.
+func TestOracleConservesMidFlight(t *testing.T) {
+	loop, net, src, aAddr, cAddr := lineNet(t, 1*unit.Mbps, 5*time.Millisecond)
+	o := NewOracle(net, staticEpochs(net.Graph, 10*time.Millisecond))
+	loop.Schedule(0, func() {
+		for i := 0; i < 40; i++ {
+			src.Send(dataPkt(aAddr, cAddr, 1000))
+		}
+	})
+	// 40 KB at 1 Mbps takes 320 ms; stop after 10 ms with most of it
+	// queued, one frame serialising and possibly one propagating.
+	if err := loop.RunUntil(sim.Time(10 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if v := o.Violations(); len(v) != 0 {
+		t.Fatalf("mid-flight cutoff reported violations: %v", v)
+	}
+	if o.deliveredTotal == o.sentTotal {
+		t.Fatal("test wants packets still in flight at the deadline")
+	}
+}
+
+// SetDown drains queues and cuts the serialising frame; every drained
+// packet must be accounted as a drop, keeping conservation exact.
+func TestOracleConservesAcrossLinkDownDrain(t *testing.T) {
+	loop, net, src, aAddr, cAddr := lineNet(t, 1*unit.Mbps, time.Millisecond)
+	o := NewOracle(net, staticEpochs(net.Graph, 100*time.Millisecond))
+	loop.Schedule(0, func() {
+		for i := 0; i < 30; i++ {
+			src.Send(dataPkt(aAddr, cAddr, 1000))
+		}
+	})
+	loop.Schedule(20*time.Millisecond, func() { net.Link(0).SetDown() })
+	if err := loop.RunUntil(sim.Time(100 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if v := o.Violations(); len(v) != 0 {
+		t.Fatalf("link_down drain reported violations: %v", v)
+	}
+	if o.droppedTotal == 0 {
+		t.Fatal("test wants the drain to drop packets")
+	}
+}
+
+func TestOracleFlagsTamperedAccounting(t *testing.T) {
+	loop, net, src, aAddr, cAddr := lineNet(t, 10*unit.Mbps, time.Millisecond)
+	o := NewOracle(net, staticEpochs(net.Graph, 100*time.Millisecond))
+	loop.Schedule(0, func() { src.Send(dataPkt(aAddr, cAddr, 1000)) })
+	if err := loop.RunUntil(sim.Time(100 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	o.deliveredTotal-- // simulate a lost delivery
+	if v := o.Violations(); len(v) == 0 {
+		t.Fatal("oracle missed a conservation deficit")
+	}
+}
+
+// An epoch table claiming less capacity than the link actually moved must
+// trip the capacity invariant — the same check that would catch a link
+// transmitting faster than its rate.
+func TestOracleFlagsCapacityExcess(t *testing.T) {
+	loop, net, src, aAddr, cAddr := lineNet(t, 10*unit.Mbps, time.Millisecond)
+	epochs := staticEpochs(net.Graph, 100*time.Millisecond)
+	for i := range epochs[0].Mbps {
+		epochs[0].Mbps[i] = 0.001 // claim ~12.5 bytes of budget
+	}
+	o := NewOracle(net, epochs)
+	loop.Schedule(0, func() {
+		for i := 0; i < 20; i++ {
+			src.Send(dataPkt(aAddr, cAddr, 1000))
+		}
+	})
+	if err := loop.RunUntil(sim.Time(100 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if v := o.Violations(); len(v) == 0 {
+		t.Fatal("oracle missed a capacity excess")
+	}
+}
+
+func TestOracleFlagsReordering(t *testing.T) {
+	loop, net, src, aAddr, cAddr := lineNet(t, 10*unit.Mbps, time.Millisecond)
+	o := NewOracle(net, staticEpochs(net.Graph, 100*time.Millisecond))
+	loop.Schedule(0, func() {
+		src.Send(dataPkt(aAddr, cAddr, 1000))
+		src.Send(dataPkt(aAddr, cAddr, 1000))
+	})
+	if err := loop.RunUntil(sim.Time(100 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if len(o.fifo) != 0 {
+		t.Fatalf("clean run logged fifo violations: %v", o.fifo)
+	}
+	// Replay an arrival out of order against the audit queue directly.
+	l := net.Link(0)
+	o.pending[0] = []uint64{7, 8}
+	o.OnArrive(l, &packet.Packet{UID: 8})
+	if len(o.fifo) == 0 {
+		t.Fatal("oracle missed a reordered arrival")
+	}
+}
+
+func TestSpecDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		a, b := NewSpec(seed), NewSpec(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: NewSpec not deterministic", seed)
+		}
+		if !bytes.Equal(a.Scenario, b.Scenario) {
+			t.Fatalf("seed %d: scenario JSON differs", seed)
+		}
+	}
+}
+
+func TestSpecSeedDistinct(t *testing.T) {
+	seen := make(map[int64]bool)
+	for i := 0; i < 1000; i++ {
+		s := SpecSeed(1, i)
+		if s < 0 {
+			t.Fatalf("SpecSeed(1, %d) = %d, want non-negative", i, s)
+		}
+		if seen[s] {
+			t.Fatalf("SpecSeed(1, %d) collides", i)
+		}
+		seen[s] = true
+	}
+	if SpecSeed(1, 0) == SpecSeed(2, 0) {
+		t.Fatal("different bases yield the same first seed")
+	}
+}
+
+func TestSpecShapes(t *testing.T) {
+	// The generator must exercise the whole vocabulary over enough seeds:
+	// every CC, every scheduler, dynamic and static timelines.
+	ccs := make(map[string]bool)
+	scheds := make(map[string]bool)
+	withEvents, static := 0, 0
+	for i := 0; i < 200; i++ {
+		sp := NewSpec(SpecSeed(42, i))
+		ccs[sp.CC] = true
+		scheds[sp.Scheduler] = true
+		if bytes.Contains(sp.Scenario, []byte(`"events"`)) {
+			withEvents++
+		} else {
+			static++
+		}
+		if len(sp.Order) == 0 {
+			t.Fatalf("spec %d: empty subflow order", i)
+		}
+		if sp.Duration <= 0 {
+			t.Fatalf("spec %d: non-positive duration", i)
+		}
+	}
+	if len(ccs) != len(genCCs) {
+		t.Fatalf("200 specs cover %d of %d CCs", len(ccs), len(genCCs))
+	}
+	if len(scheds) != len(genScheds) {
+		t.Fatalf("200 specs cover %d of %d schedulers", len(scheds), len(genScheds))
+	}
+	if withEvents == 0 || static == 0 {
+		t.Fatalf("want both dynamic and static specs, got %d/%d", withEvents, static)
+	}
+}

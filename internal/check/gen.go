@@ -1,0 +1,263 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"mptcpsim/internal/sim"
+)
+
+// Spec is one randomly generated but fully valid experiment: a scenario
+// file (the public JSON format) plus the run options that go with it.
+// Specs are a pure function of their seed, so a failing one is replayed
+// from two numbers.
+type Spec struct {
+	// Seed is the generator seed the spec was derived from.
+	Seed int64
+	// Name is a short label summarising the draw.
+	Name string
+	// Scenario is the topology + event timeline in mptcpsim's scenario
+	// JSON format.
+	Scenario []byte
+	// CC, Scheduler, Order, RunSeed, Duration and QueueScale are the run
+	// options.
+	CC         string
+	Scheduler  string
+	Order      []int
+	RunSeed    int64
+	Duration   time.Duration
+	QueueScale float64
+}
+
+// SpecSeed derives the i-th spec seed from a base seed (splitmix64), so a
+// batch of specs can be generated independently and in parallel while
+// staying a pure function of (base, i).
+func SpecSeed(base int64, i int) int64 {
+	z := uint64(base) ^ 0x9e3779b97f4a7c15*uint64(i+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	// Clear the sign bit: seeds print nicer and Options maps 0 to 1
+	// anyway.
+	return int64(z &^ (1 << 63))
+}
+
+// The value palettes. Rates are everyday access/backbone capacities;
+// keeping them ≥ 5 Mbps avoids degenerate runs where nothing converges
+// inside the short simcheck horizon.
+var (
+	genRates  = []float64{5, 8, 10, 20, 40, 60, 80, 100}
+	genCCs    = []string{"cubic", "reno", "lia", "olia", "balia", "wvegas"}
+	genScheds = []string{"minrtt", "roundrobin", "redundant"}
+)
+
+// scenario JSON mirror structs. internal/check cannot import the root
+// package (the root imports check), so it emits the documented on-disk
+// format directly; the driver parses it back through the public loader,
+// which doubles as a continuous test of the parse→build path.
+type genFile struct {
+	Links     []genLink `json:"links"`
+	Endpoints struct {
+		Src string `json:"src"`
+		Dst string `json:"dst"`
+	} `json:"endpoints"`
+	Paths  []genPath  `json:"paths"`
+	Events []genEvent `json:"events,omitempty"`
+}
+
+type genLink struct {
+	A          string  `json:"a"`
+	B          string  `json:"b"`
+	Mbps       float64 `json:"mbps"`
+	DelayMs    float64 `json:"delay_ms"`
+	QueueBytes int     `json:"queue_bytes,omitempty"`
+	Loss       float64 `json:"loss,omitempty"`
+}
+
+type genPath struct {
+	Nodes []string `json:"nodes"`
+}
+
+type genEvent struct {
+	AtMs       float64 `json:"at_ms"`
+	Type       string  `json:"type"`
+	A          string  `json:"a"`
+	B          string  `json:"b"`
+	Mbps       float64 `json:"mbps,omitempty"`
+	DelayMs    float64 `json:"delay_ms,omitempty"`
+	Loss       float64 `json:"loss,omitempty"`
+	DurationMs float64 `json:"duration_ms,omitempty"`
+}
+
+// NewSpec generates the spec for a seed: a layered random topology whose
+// paths share columns of intermediate nodes (the paper's overlapping-path
+// structure), a valid dynamic-event timeline drawn from the full dynamics
+// vocabulary, and a random choice of congestion control, scheduler,
+// subflow ordering, queue scale and run seed.
+func NewSpec(seed int64) Spec {
+	rng := sim.NewRand(seed)
+
+	// Layered topology: s → column 1 → ... → column C → d. Each path
+	// picks one node per column, so paths overlap wherever their picks
+	// coincide — including fully overlapping (identical) paths, which are
+	// legal and pin two subflows to one route.
+	cols := 1 + rng.Intn(3)
+	width := make([]int, cols)
+	names := make([][]string, cols)
+	for c := range width {
+		width[c] = 1 + rng.Intn(2)
+		for w := 0; w < width[c]; w++ {
+			names[c] = append(names[c], fmt.Sprintf("m%d%d", c+1, w+1))
+		}
+	}
+	nPaths := 2 + rng.Intn(3)
+	paths := make([][]string, nPaths)
+	for p := range paths {
+		nodes := []string{"s"}
+		for c := 0; c < cols; c++ {
+			nodes = append(nodes, names[c][rng.Intn(width[c])])
+		}
+		paths[p] = append(nodes, "d")
+	}
+
+	// Links: every hop used by a path, in first-use order so the file is
+	// deterministic.
+	var sf genFile
+	type pair struct{ a, b string }
+	linkAt := make(map[pair]int)
+	addLink := func(a, b string) {
+		key := pair{a, b}
+		if a > b {
+			key = pair{b, a}
+		}
+		if _, ok := linkAt[key]; ok {
+			return
+		}
+		delay := math.Round((0.5+rng.Float64()*4)*1000) / 1000
+		linkAt[key] = len(sf.Links)
+		sf.Links = append(sf.Links, genLink{
+			A: a, B: b,
+			Mbps:    genRates[rng.Intn(len(genRates))],
+			DelayMs: delay,
+		})
+	}
+	for _, nodes := range paths {
+		for i := 1; i < len(nodes); i++ {
+			addLink(nodes[i-1], nodes[i])
+		}
+	}
+	// Occasionally an extra link no path uses: events may target it, and
+	// nothing else should care.
+	if rng.Bool(0.3) && cols >= 2 {
+		addLink(names[0][0], names[cols-1][width[cols-1]-1])
+	}
+	// Occasionally a lossy link and a shallow explicit buffer.
+	if rng.Bool(0.25) {
+		sf.Links[rng.Intn(len(sf.Links))].Loss = rng.Float64() * 0.01
+	}
+	if rng.Bool(0.2) {
+		sf.Links[rng.Intn(len(sf.Links))].QueueBytes = (8 + rng.Intn(25)) * 1500
+	}
+
+	sf.Endpoints.Src, sf.Endpoints.Dst = "s", "d"
+	for _, nodes := range paths {
+		sf.Paths = append(sf.Paths, genPath{Nodes: nodes})
+	}
+
+	duration := time.Duration(800+rng.Intn(800)) * time.Millisecond
+	sf.Events = genTimeline(rng, sf.Links, duration)
+
+	// Run options.
+	order := rng.Perm(nPaths)
+	for i := range order {
+		order[i]++
+	}
+	if rng.Bool(0.2) && nPaths > 1 {
+		order = order[:1+rng.Intn(nPaths-1)]
+	}
+	qs := 1.0
+	switch {
+	case rng.Bool(0.15):
+		qs = 0.5
+	case rng.Bool(0.15):
+		qs = 2
+	}
+	sp := Spec{
+		Seed:       seed,
+		CC:         genCCs[rng.Intn(len(genCCs))],
+		Scheduler:  genScheds[rng.Intn(len(genScheds))],
+		Order:      order,
+		RunSeed:    rng.Int63(),
+		Duration:   duration,
+		QueueScale: qs,
+	}
+	js, err := json.Marshal(&sf)
+	if err != nil {
+		// Marshalling plain structs of strings and floats cannot fail.
+		panic(fmt.Sprintf("check: marshal generated scenario: %v", err))
+	}
+	sp.Scenario = js
+	sp.Name = fmt.Sprintf("cc=%s sched=%s paths=%d links=%d events=%d dur=%v",
+		sp.CC, sp.Scheduler, nPaths, len(sf.Links), len(sf.Events), duration)
+	return sp
+}
+
+// genTimeline draws a valid event sequence: strictly increasing times, a
+// per-link state machine keeping the dynamics validation rules (no double
+// link_down, link_up only on a downed link, no loss event inside an
+// active burst window), and parameters inside their documented ranges.
+func genTimeline(rng *sim.Rand, links []genLink, duration time.Duration) []genEvent {
+	count := rng.Intn(4)
+	if count == 0 {
+		return nil
+	}
+	durMs := float64(duration) / float64(time.Millisecond)
+	var events []genEvent
+	down := make(map[int]bool)
+	burstEndMs := make(map[int]float64)
+	tMs := 0.1 * durMs
+	for len(events) < count {
+		tMs += (0.08 + rng.Float64()*0.25) * durMs
+		if tMs >= 0.9*durMs {
+			break
+		}
+		li := rng.Intn(len(links))
+		l := links[li]
+		ev := genEvent{AtMs: math.Round(tMs*1000) / 1000, A: l.A, B: l.B}
+		switch {
+		case down[li]:
+			ev.Type = "link_up"
+			down[li] = false
+		default:
+			kinds := []string{"set_rate", "set_delay", "link_down"}
+			// Loss events are structural errors inside an active burst
+			// window (the restore would clobber them); only offer them
+			// strictly after it, with a 10 µs margin so millisecond
+			// rounding cannot land one on the restore instant.
+			if ev.AtMs > burstEndMs[li]+0.01 {
+				kinds = append(kinds, "set_loss", "loss_burst")
+			}
+			ev.Type = kinds[rng.Intn(len(kinds))]
+			switch ev.Type {
+			case "set_rate":
+				ev.Mbps = genRates[rng.Intn(len(genRates))]
+			case "set_delay":
+				ev.DelayMs = math.Round(rng.Float64()*8*1000) / 1000
+			case "link_down":
+				down[li] = true
+			case "set_loss":
+				ev.Loss = rng.Float64() * 0.05
+			case "loss_burst":
+				ev.Loss = 0.05 + rng.Float64()*0.25
+				ev.DurationMs = math.Round((0.02+rng.Float64()*0.08)*durMs*1000) / 1000
+				burstEndMs[li] = ev.AtMs + ev.DurationMs
+			}
+		}
+		events = append(events, ev)
+	}
+	return events
+}

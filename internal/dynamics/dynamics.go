@@ -175,6 +175,21 @@ func New(g *topo.Graph, events []Event) (*Timeline, error) {
 	return tl, nil
 }
 
+// Magnitude bounds on event parameters. Values anywhere near these are
+// certainly typos in millisecond-scale configurations — and bounding them
+// keeps every duration and rate below 2^51, where the scenario format's
+// float64 millisecond fields round-trip through nanoseconds (and Mbps
+// through bits per second) exactly, so parse → build → re-emit stays a
+// fixpoint for every accepted input.
+const (
+	// MaxEventTime bounds firing times and burst windows.
+	MaxEventTime = 100 * time.Hour
+	// MaxEventDelay bounds a set_delay target.
+	MaxEventDelay = time.Hour
+	// MaxEventRate bounds a set_rate target (1 Tbps).
+	MaxEventRate = 1000 * unit.Gbps
+)
+
 // ValidateEvent checks one event in isolation — firing time, link
 // existence, parameter ranges — and resolves its duplex pair. Cross-event
 // rules (down/up pairing, burst overlaps) need the whole timeline and live
@@ -182,6 +197,9 @@ func New(g *topo.Graph, events []Event) (*Timeline, error) {
 func ValidateEvent(g *topo.Graph, e Event) ([2]topo.LinkID, error) {
 	if e.At < 0 {
 		return [2]topo.LinkID{}, fmt.Errorf("dynamics: event %q fires at negative time", e)
+	}
+	if e.At > MaxEventTime {
+		return [2]topo.LinkID{}, fmt.Errorf("dynamics: event %q fires beyond %v", e, MaxEventTime)
 	}
 	pair, err := duplexIDs(g, e.A, e.B)
 	if err != nil {
@@ -193,9 +211,15 @@ func ValidateEvent(g *topo.Graph, e Event) ([2]topo.LinkID, error) {
 		if e.Rate <= 0 {
 			return pair, fmt.Errorf("dynamics: event %q: rate must be positive (use link_down for outages)", e)
 		}
+		if e.Rate > MaxEventRate {
+			return pair, fmt.Errorf("dynamics: event %q: rate above %v", e, MaxEventRate)
+		}
 	case SetDelay:
 		if e.Delay < 0 {
 			return pair, fmt.Errorf("dynamics: event %q: negative delay", e)
+		}
+		if e.Delay > MaxEventDelay {
+			return pair, fmt.Errorf("dynamics: event %q: delay above %v", e, MaxEventDelay)
 		}
 	case SetLoss:
 		if e.Loss < 0 || e.Loss > 1 {
@@ -207,6 +231,9 @@ func ValidateEvent(g *topo.Graph, e Event) ([2]topo.LinkID, error) {
 		}
 		if e.Burst <= 0 {
 			return pair, fmt.Errorf("dynamics: event %q: burst needs a positive duration", e)
+		}
+		if e.Burst > MaxEventTime {
+			return pair, fmt.Errorf("dynamics: event %q: burst longer than %v", e, MaxEventTime)
 		}
 	default:
 		return pair, fmt.Errorf("dynamics: event %q: unknown kind", e)

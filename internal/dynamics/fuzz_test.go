@@ -1,0 +1,97 @@
+package dynamics
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/route"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/topo"
+	"mptcpsim/internal/unit"
+)
+
+// fuzzNodeNames are the paper graph's nodes plus one unknown name, so
+// decoded events exercise both resolution paths.
+var fuzzNodeNames = []string{"s", "v1", "v2", "v3", "v4", "d", "zz"}
+
+// decodeEvents turns raw fuzz bytes into an event list: each 8-byte
+// record is (kind, nodeA, nodeB, at:int16 ms, value:int16, extra). Values
+// deliberately range over invalid territory (negative times, zero rates,
+// probabilities above 1, unknown kinds and nodes) — validation must
+// reject them with an error, never a panic.
+func decodeEvents(data []byte) []Event {
+	var evs []Event
+	for len(data) >= 8 {
+		rec := data[:8]
+		data = data[8:]
+		at := int16(binary.LittleEndian.Uint16(rec[3:5]))
+		val := int16(binary.LittleEndian.Uint16(rec[5:7]))
+		e := Event{
+			Kind: Kind(int(rec[0]%8) - 1), // -1 and 6 are unknown kinds
+			A:    fuzzNodeNames[int(rec[1])%len(fuzzNodeNames)],
+			B:    fuzzNodeNames[int(rec[2])%len(fuzzNodeNames)],
+			At:   time.Duration(at) * time.Millisecond,
+		}
+		switch e.Kind {
+		case SetRate:
+			e.Rate = unit.Rate(val) * unit.Mbps
+		case SetDelay:
+			e.Delay = time.Duration(val) * time.Millisecond
+		case SetLoss:
+			e.Loss = float64(val) / 8192
+		case LossBurst:
+			e.Loss = float64(rec[7]) / 128
+			e.Burst = time.Duration(val) * time.Millisecond
+		}
+		evs = append(evs, e)
+	}
+	return evs
+}
+
+// FuzzTimelineValidate asserts the dynamics contract on arbitrary event
+// lists: validation never panics, and any timeline it accepts is
+// schedulable — installing it on a live network and running the loop to
+// the horizon must not panic either, and the epoch machinery must agree
+// with it.
+func FuzzTimelineValidate(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 0, 1, 0, 1, 10, 0, 0}) // set_rate s-v1 at 0
+	f.Add([]byte{
+		0, 0, 1, 0xE8, 0x03, 0, 0, 0, // link_down s-v1 at 1000ms
+		1, 0, 1, 0xD0, 0x07, 0, 0, 0, // link_up s-v1 at 2000ms
+		5, 3, 4, 0xF4, 0x01, 100, 0, 50, // loss_burst v3-v4 at 500ms
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pn := topo.Paper()
+		evs := decodeEvents(data)
+		tl, err := New(pn.Graph, evs)
+		if err != nil {
+			return
+		}
+		// Accepted ⇒ schedulable: animate the graph and let every event
+		// fire. Any panic here is a validation gap.
+		loop := sim.NewLoop()
+		net, err := netem.New(loop, pn.Graph, route.NewTagTable(pn.Graph))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRand(1)
+		tl.Schedule(loop, net, rng.Fork)
+		loop.SetEventLimit(1 << 20)
+		horizon := 40 * time.Second
+		if err := loop.RunUntil(sim.Time(horizon)); err != nil {
+			t.Fatalf("accepted timeline failed to run: %v", err)
+		}
+		// The epoch machinery must be total over accepted timelines.
+		starts := tl.EpochStarts(horizon)
+		if len(starts) == 0 || starts[0] != 0 {
+			t.Fatalf("EpochStarts = %v, want leading 0", starts)
+		}
+		for _, st := range starts {
+			tl.CapsAt(st, pn.Graph)
+		}
+	})
+}

@@ -182,6 +182,20 @@ func (c *Conn) Algorithm() cc.Algorithm { return c.algo }
 // AssignedBytes returns the total data bytes mapped to subflows so far.
 func (c *Conn) AssignedBytes() uint64 { return c.dsnNext }
 
+// SentPayloadBytes sums the payload bytes transmitted across all subflows,
+// retransmissions included. It upper-bounds what the receiver can account
+// for (delivered + duplicate + buffered out of order), which is the
+// data-level conservation invariant the check harness asserts.
+func (c *Conn) SentPayloadBytes() uint64 {
+	var n uint64
+	for _, sf := range c.subflows {
+		if sf.TCP != nil {
+			n += sf.TCP.Stats.SentBytes
+		}
+	}
+	return n
+}
+
 // Kick wakes all subflows after the DataSource gains data, in scheduler
 // preference order so limited data lands on preferred paths first.
 func (c *Conn) Kick() {

@@ -36,6 +36,18 @@ type dchunk struct {
 // SubflowCount returns how many subflows have attached.
 func (rc *RecvConn) SubflowCount() int { return rc.subflows }
 
+// OOOBytes returns the bytes currently parked in the out-of-order
+// reassembly buffer — received at the data level but not yet deliverable.
+// Data-level conservation audits need it: bytes assigned by the sender
+// must equal delivered + duplicate + out-of-order + still-in-transit.
+func (rc *RecvConn) OOOBytes() uint64 {
+	var n uint64
+	for _, c := range rc.ooo {
+		n += uint64(c.n)
+	}
+	return n
+}
+
 // DataAck returns the connection-level cumulative acknowledgement.
 func (rc *RecvConn) DataAck() uint64 { return rc.dsnExpected }
 

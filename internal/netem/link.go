@@ -36,11 +36,24 @@ func (DropTail) OnEnqueue(*Link, *packet.Packet) bool { return false }
 type LinkCounters struct {
 	TxPackets uint64
 	TxBytes   uint64
-	Drops     map[DropReason]uint64
+	// Offered counts every packet presented to the transmit queue,
+	// whatever its fate. Conservation holds at all times:
+	// Offered = TxPackets + dropped + queued + mid-serialisation.
+	Offered uint64
+	Drops   map[DropReason]uint64
 	// MaxQueue is the high-water mark of queued bytes.
 	MaxQueue unit.ByteSize
 	// Busy accumulates transmitter-active time, for utilisation.
 	Busy time.Duration
+}
+
+// DropTotal sums the drop counters over all reasons.
+func (c *LinkCounters) DropTotal() uint64 {
+	var n uint64
+	for _, v := range c.Drops {
+		n += v
+	}
+	return n
 }
 
 // Link is the runtime transmitter for one directed link: a FIFO queue in
@@ -201,8 +214,16 @@ func (l *Link) drop(pkt *packet.Packet, reason DropReason) {
 	l.net.tapDrop(l.Name(), pkt, reason)
 }
 
+// QueueLen returns the number of packets waiting in the transmit queue
+// (excluding a frame mid-serialisation).
+func (l *Link) QueueLen() int { return l.queueLen() }
+
+// Transmitting reports whether a frame is being serialised right now.
+func (l *Link) Transmitting() bool { return l.transmitting }
+
 // enqueue admits a packet to the transmit queue.
 func (l *Link) enqueue(pkt *packet.Packet) {
+	l.Counters.Offered++
 	if l.down {
 		l.drop(pkt, DropLinkDown)
 		return
@@ -276,7 +297,10 @@ func (l *Link) startTx() {
 			arriveAt = l.lastArrivalAt
 		}
 		l.lastArrivalAt = arriveAt
+		l.net.propagating++
 		l.net.Loop.At(arriveAt, func() {
+			l.net.propagating--
+			l.net.tapArrive(l, pkt)
 			l.net.nodes[l.Spec.To].receive(pkt)
 		})
 		if l.queueLen() == 0 {

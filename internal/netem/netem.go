@@ -84,6 +84,24 @@ type Tap interface {
 	OnDrop(where string, pkt *packet.Packet, reason DropReason)
 }
 
+// SendTap is an optional extension of Tap: taps that also implement it
+// observe every packet origination (Node.Send), the instrumentation point
+// packet-conservation audits need — every sent packet must later show up
+// as exactly one delivery or drop, or still be in the network.
+type SendTap interface {
+	// OnSend fires when a host originates pkt, after UID stamping.
+	OnSend(n *Node, pkt *packet.Packet)
+}
+
+// ArrivalTap is an optional extension of Tap: taps that also implement it
+// observe every propagation arrival at a link's far node, before the node
+// forwards or delivers the packet. FIFO audits use it: arrivals on one
+// link must occur in transmit order even across runtime delay changes.
+type ArrivalTap interface {
+	// OnArrive fires when pkt reaches the far end of link l.
+	OnArrive(l *Link, pkt *packet.Packet)
+}
+
 // Handler consumes packets delivered to a host's transport layer.
 type Handler interface {
 	Deliver(pkt *packet.Packet)
@@ -115,8 +133,15 @@ type Network struct {
 	addr2nod map[packet.Addr]topo.NodeID
 	nod2addr map[topo.NodeID]packet.Addr
 	taps     []Tap
-	nextUID  uint64
-	nextIP   uint32
+	// sendTaps and arrivalTaps hold the subset of taps implementing the
+	// optional extension interfaces, resolved once at AttachTap.
+	sendTaps    []SendTap
+	arrivalTaps []ArrivalTap
+	// propagating counts packets that left a transmitter and have not yet
+	// reached the far node — the in-flight term of conservation audits.
+	propagating int
+	nextUID     uint64
+	nextIP      uint32
 }
 
 // New animates graph g with the given router on loop l.
@@ -144,8 +169,25 @@ func New(l *sim.Loop, g *topo.Graph, r route.Router) (*Network, error) {
 	return n, nil
 }
 
-// AttachTap registers a tap on every instrumentation point.
-func (n *Network) AttachTap(t Tap) { n.taps = append(n.taps, t) }
+// AttachTap registers a tap on every instrumentation point. Taps that
+// also implement SendTap or ArrivalTap are additionally notified of
+// packet originations and propagation arrivals.
+func (n *Network) AttachTap(t Tap) {
+	n.taps = append(n.taps, t)
+	if st, ok := t.(SendTap); ok {
+		n.sendTaps = append(n.sendTaps, st)
+	}
+	if at, ok := t.(ArrivalTap); ok {
+		n.arrivalTaps = append(n.arrivalTaps, at)
+	}
+}
+
+// Originated returns the number of packets hosts have sent so far.
+func (n *Network) Originated() uint64 { return n.nextUID }
+
+// Propagating returns the number of packets currently between a
+// transmitter and the far node (transmitted, arrival still pending).
+func (n *Network) Propagating() int { return n.propagating }
 
 // AssignAddr gives node an automatically allocated address (10.0.0.1, .2,
 // ...). Assigning twice returns the existing address.
@@ -199,6 +241,18 @@ func (n *Network) tapDrop(where string, pkt *packet.Packet, reason DropReason) {
 	}
 }
 
+func (n *Network) tapSend(nd *Node, pkt *packet.Packet) {
+	for _, t := range n.sendTaps {
+		t.OnSend(nd, pkt)
+	}
+}
+
+func (n *Network) tapArrive(l *Link, pkt *packet.Packet) {
+	for _, t := range n.arrivalTaps {
+		t.OnArrive(l, pkt)
+	}
+}
+
 // Node is the runtime state of a topology node: a forwarding engine plus,
 // for hosts, a transport demultiplexer keyed by destination port.
 type Node struct {
@@ -235,6 +289,7 @@ func (nd *Node) Send(pkt *packet.Packet) {
 	if pkt.IP.TTL == 0 {
 		pkt.IP.TTL = packet.DefaultTTL
 	}
+	nd.net.tapSend(nd, pkt)
 	nd.receive(pkt)
 }
 

@@ -61,6 +61,33 @@ func Aggregate(vals []float64) Agg {
 	return a
 }
 
+// MeasureWindow returns a run's measurement window [from, horizon): the
+// horizon is the end of the last full capture bin, and from skips the
+// slow-start transient (10% of the horizon) rounded up to a whole bin.
+// Every consumer of the window — the measured mean (Summarize), the
+// piecewise target weighting (mptcpsim.Run) and the gap invariant's drain
+// allowance — must integrate over this same interval; the "measured never
+// beats the optimum" invariant is only sound when they agree.
+func MeasureWindow(duration, step time.Duration) (from, horizon time.Duration) {
+	if step <= 0 {
+		return duration / 10, duration
+	}
+	horizon = duration / step * step
+	from = (horizon/10 + step - 1) / step * step
+	return from, horizon
+}
+
+// EpochWindow returns the whole-bin window inside [from, to) — the
+// largest interval an epoch can be measured over without boundary bins
+// mixing in the neighbouring epochs' traffic. The result is empty
+// (second ≤ first) for epochs shorter than one aligned bin.
+func EpochWindow(from, to, step time.Duration) (time.Duration, time.Duration) {
+	if step <= 0 {
+		return from, to
+	}
+	return (from + step - 1) / step * step, to / step * step
+}
+
 // ConvergenceTime returns the first time at which the series enters the
 // band [target*(1-tol), inf) and stays there for the hold duration.
 func ConvergenceTime(s *trace.Series, target, tol float64, hold time.Duration) (time.Duration, bool) {
@@ -200,7 +227,12 @@ type EpochStats struct {
 func SummarizeEpoch(total *trace.Series, paths []*trace.Series,
 	from, to time.Duration, target, tol float64, hold time.Duration) EpochStats {
 	e := EpochStats{Start: from, End: to, Target: target}
-	clipped := total.Clip(from, to)
+	// Measure over whole bins strictly inside the epoch: a bin straddling
+	// a boundary mixes in the neighbouring epoch's traffic (a capacity cut
+	// mid-bin would otherwise credit the slow epoch with pre-cut bytes and
+	// make it appear to beat its own optimum).
+	cf, ct := EpochWindow(from, to, total.Step)
+	clipped := total.Clip(cf, ct)
 	if clipped.Len() == 0 {
 		e.TotalMean = total.At(from)
 		if target > 0 {
@@ -213,12 +245,12 @@ func SummarizeEpoch(total *trace.Series, paths []*trace.Series,
 	}
 	e.TotalMean, _, _, _ = clipped.Stats(0, 0)
 	e.Gap = OptimalityGap(&clipped, target, 0, 0)
-	if hold > to-from {
-		hold = to - from
+	if hold > ct-cf {
+		hold = ct - cf
 	}
 	e.ConvergedAt, e.Converged = ConvergenceTime(&clipped, target, tol, hold)
 	for _, p := range paths {
-		pc := p.Clip(from, to)
+		pc := p.Clip(cf, ct)
 		m, _, _, _ := pc.Stats(0, 0)
 		e.PathMeans = append(e.PathMeans, m)
 	}
@@ -231,8 +263,10 @@ func Summarize(algorithm string, total *trace.Series, paths []*trace.Series,
 	target, pareto, tol float64, hold time.Duration) Summary {
 	dur := time.Duration(total.Len()) * total.Step
 	s := Summary{Algorithm: algorithm, Target: target}
-	// Skip the first 10% (slow-start transient) for the window mean.
-	from := dur / 10
+	// Skip the first 10% (slow-start transient) for the window mean,
+	// rounded up to a whole bin — see MeasureWindow for why the window
+	// must be exactly the bins it covers.
+	from, _ := MeasureWindow(dur, total.Step)
 	s.TotalMean, _, _, _ = total.Stats(from, dur)
 	s.Gap = OptimalityGap(total, target, from, dur)
 	s.ConvergedAt, s.Converged = ConvergenceTime(total, target, tol, hold)

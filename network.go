@@ -159,9 +159,31 @@ func (n *Network) PathDescription(path int) string {
 	return n.paths[path-1].Format(n.graph)
 }
 
+// validateMagnitudes enforces the link magnitude bounds at the common
+// layer, so a network built through the API obeys the same contract as
+// one parsed from a scenario file — in particular, every network that
+// runs can also be exported and re-built from its own Scenario().
+func (n *Network) validateMagnitudes() error {
+	for _, l := range n.graph.Links() {
+		a, b := n.graph.Node(l.From).Name, n.graph.Node(l.To).Name
+		if l.Rate < 1 || l.Rate.Mbit() > maxLinkMbps {
+			return fmt.Errorf("mptcpsim: link %s-%s: rate %v outside [1bps, %gMbps]",
+				a, b, l.Rate, float64(maxLinkMbps))
+		}
+		if float64(l.Delay)/float64(time.Millisecond) > maxLinkDelayMs {
+			return fmt.Errorf("mptcpsim: link %s-%s: delay %v above %gms",
+				a, b, l.Delay, float64(maxLinkDelayMs))
+		}
+	}
+	return nil
+}
+
 // validate checks the network is runnable.
 func (n *Network) validate() error {
 	if err := n.graph.Validate(); err != nil {
+		return err
+	}
+	if err := n.validateMagnitudes(); err != nil {
 		return err
 	}
 	if !n.ends {

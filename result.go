@@ -1,8 +1,11 @@
 package mptcpsim
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -50,6 +53,7 @@ type SubflowReport struct {
 	Label string
 
 	SentSegments   uint64
+	SentBytes      uint64
 	Retransmits    uint64
 	RTOs           uint64
 	FastRecoveries uint64
@@ -124,8 +128,175 @@ type Result struct {
 	DeliveredBytes, DuplicateBytes uint64
 	// TransferComplete reports whether a fixed-size transfer finished.
 	TransferComplete bool
+	// LoopEvents is the number of simulation events the run executed — a
+	// cheap fingerprint of the whole execution that strengthens the
+	// replay-determinism check (two runs agreeing on every series but not
+	// on LoopEvents did not take the same path).
+	LoopEvents uint64
+	// Invariants lists the correctness invariants the run violated
+	// (Options.ValidateInvariants); empty means every audited property
+	// held. See Options.ValidateInvariants for the list.
+	Invariants []string
 
 	records []capture.Record
+}
+
+// Hash returns a canonical SHA-256 fingerprint of everything the run
+// measured: every series value bit-for-bit, the analytic baselines, the
+// epoch reports, the summary, the per-subflow and per-link counters, and
+// the simulation event count. Two runs of the same scenario with the same
+// seed must produce identical hashes — the replay-determinism invariant
+// cmd/simcheck asserts. Observation-only knobs (RetainPackets,
+// ValidateInvariants and the Invariants list itself) are excluded, so a
+// validated run hashes identically to an unvalidated one.
+func (r *Result) Hash() string {
+	h := sha256.New()
+	var buf [8]byte
+	wU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wF64 := func(v float64) { wU64(math.Float64bits(v)) }
+	wStr := func(s string) {
+		wU64(uint64(len(s)))
+		io.WriteString(h, s)
+	}
+	wBool := func(b bool) {
+		if b {
+			wU64(1)
+		} else {
+			wU64(0)
+		}
+	}
+	wSeries := func(s Series) {
+		wStr(s.Name)
+		wU64(uint64(s.Step))
+		wU64(uint64(len(s.Mbps)))
+		for _, v := range s.Mbps {
+			wF64(v)
+		}
+	}
+	wAlloc := func(a Allocation) {
+		wF64(a.Total)
+		wU64(uint64(len(a.PerPath)))
+		for _, v := range a.PerPath {
+			wF64(v)
+		}
+	}
+	wVec := func(x []float64) {
+		wU64(uint64(len(x)))
+		for _, v := range x {
+			wF64(v)
+		}
+	}
+
+	o := r.Options
+	wStr(o.CC)
+	wStr(o.Scheduler)
+	wU64(uint64(o.Duration))
+	wU64(uint64(o.SampleInterval))
+	wU64(uint64(o.Seed))
+	wU64(uint64(len(o.SubflowPaths)))
+	for _, p := range o.SubflowPaths {
+		wU64(uint64(p))
+	}
+	wU64(uint64(o.TransferBytes))
+	wF64(o.QueueScale)
+	wBool(o.DisableSACK)
+	wBool(o.Timestamps)
+	wU64(uint64(o.DelAckCount))
+	wF64(o.ConvergenceTol)
+	wU64(uint64(o.ConvergenceHold))
+	wU64(uint64(len(o.CrossTCP)))
+	for _, p := range o.CrossTCP {
+		wU64(uint64(p))
+	}
+	wStr(o.CrossCC)
+
+	wU64(uint64(len(r.Paths)))
+	for _, s := range r.Paths {
+		wSeries(s)
+	}
+	wU64(uint64(len(r.Cross)))
+	for _, s := range r.Cross {
+		wSeries(s)
+	}
+	wSeries(r.Total)
+	wAlloc(r.Optimum)
+	wStr(r.Problem)
+	wVec(r.MaxMin)
+	wVec(r.PropFair)
+	wVec(r.Greedy)
+
+	wU64(uint64(len(r.Epochs)))
+	for _, ep := range r.Epochs {
+		wU64(uint64(ep.Start))
+		wU64(uint64(ep.End))
+		wAlloc(ep.Optimum)
+		wF64(ep.TotalMean)
+		wF64(ep.Gap)
+		wVec(ep.PathMeans)
+		wBool(ep.Converged)
+		wU64(uint64(ep.ConvergedAt))
+	}
+	wU64(uint64(len(r.Events)))
+	for _, e := range r.Events {
+		wStr(e.String())
+	}
+
+	s := r.Summary
+	wStr(s.Algorithm)
+	wF64(s.TotalMean)
+	wF64(s.Target)
+	wF64(s.Gap)
+	wBool(s.Converged)
+	wU64(uint64(s.ConvergedAt))
+	wF64(s.PostCoV)
+	wVec(s.PathMeans)
+	wBool(s.ReachedPareto)
+	wU64(uint64(s.ParetoAt))
+
+	wU64(uint64(len(r.Subflows)))
+	for _, sf := range r.Subflows {
+		wU64(uint64(sf.Path))
+		wStr(sf.Label)
+		wU64(sf.SentSegments)
+		wU64(sf.SentBytes)
+		wU64(sf.Retransmits)
+		wU64(sf.RTOs)
+		wU64(sf.FastRecoveries)
+		wU64(uint64(sf.SRTT))
+		wU64(uint64(sf.FinalCwndBytes))
+	}
+
+	keys := make([]string, 0, len(r.Drops))
+	for k := range r.Drops {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	wU64(uint64(len(keys)))
+	for _, k := range keys {
+		wStr(k)
+		wU64(r.Drops[k])
+	}
+	keys = keys[:0]
+	for k := range r.Utilisation {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	wU64(uint64(len(keys)))
+	for _, k := range keys {
+		wStr(k)
+		wF64(r.Utilisation[k])
+	}
+
+	wU64(r.Packets)
+	wU64(r.DeliveredBytes)
+	wU64(r.DuplicateBytes)
+	wBool(r.TransferComplete)
+	wU64(r.LoopEvents)
+
+	return fmt.Sprintf("%x", h.Sum(nil))
 }
 
 // WriteCSV emits the per-path and total series as CSV.

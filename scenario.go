@@ -47,6 +47,13 @@ type ScenarioFile struct {
 	Events []ScenarioEvent `json:"events,omitempty"`
 }
 
+// Magnitude bounds on scenario links: 1 Tbps and one hour of one-way
+// delay. See the validation in Build for why they exist.
+const (
+	maxLinkMbps    = 1e6
+	maxLinkDelayMs = 3.6e6
+)
+
 // ScenarioLink is one duplex link of a scenario file.
 type ScenarioLink struct {
 	A          string  `json:"a"`
@@ -152,8 +159,20 @@ func (sf *ScenarioFile) Build() (*Network, error) {
 		if l.Mbps <= 0 {
 			return nil, fmt.Errorf("mptcpsim: link %d (%s-%s) needs mbps > 0", i, l.A, l.B)
 		}
+		// Magnitude bounds, mirroring the event-parameter bounds: anything
+		// near them is a typo, and inside them every float64 field
+		// round-trips exactly through the integer bit/nanosecond units, so
+		// parse → build → re-emit stays a fixpoint (fuzz-verified). The
+		// lower rate bound rejects capacities that round to 0 bit/s and
+		// could not be re-built from their own export.
+		if l.Mbps < 1e-6 || l.Mbps > maxLinkMbps {
+			return nil, fmt.Errorf("mptcpsim: link %d (%s-%s): mbps %g outside [1e-6, %g]", i, l.A, l.B, l.Mbps, float64(maxLinkMbps))
+		}
 		if l.DelayMs < 0 {
 			return nil, fmt.Errorf("mptcpsim: link %d (%s-%s) has negative delay", i, l.A, l.B)
+		}
+		if l.DelayMs > maxLinkDelayMs {
+			return nil, fmt.Errorf("mptcpsim: link %d (%s-%s): delay %g ms above %g ms", i, l.A, l.B, l.DelayMs, float64(maxLinkDelayMs))
 		}
 		if l.Loss < 0 {
 			return nil, fmt.Errorf("mptcpsim: link %d (%s-%s) has negative loss", i, l.A, l.B)
@@ -219,6 +238,11 @@ func (n *Network) Scenario() (*ScenarioFile, error) {
 	}
 	if len(n.paths) == 0 {
 		return nil, fmt.Errorf("mptcpsim: declare paths before exporting a scenario")
+	}
+	// The format's magnitude bounds apply to API-built networks too: an
+	// export the loader would reject must fail here, with the reason.
+	if err := n.validateMagnitudes(); err != nil {
+		return nil, err
 	}
 	g := n.graph
 	sf := &ScenarioFile{}

@@ -685,6 +685,11 @@ type Sweep struct {
 	OnResult func(done, total int, r RunSummary)
 	// Keep retains the full Result of every run in SweepResult.Results.
 	Keep bool
+	// ValidateInvariants turns every run into a self-checking one: the
+	// correctness oracle (see Options.ValidateInvariants) audits each run
+	// and any violation is recorded as that run's Err, failing the cell
+	// without aborting the sweep.
+	ValidateInvariants bool
 }
 
 // Run expands the grid and executes every point. Individual run failures
@@ -721,6 +726,9 @@ func (s *Sweep) Run(g *Grid) (*SweepResult, error) {
 			defer wg.Done()
 			for i := range jobs {
 				spec := specs[i]
+				if s.ValidateInvariants {
+					spec.Options.ValidateInvariants = true
+				}
 				summary, full := runSpec(spec)
 				res.Runs[i] = summary
 				if s.Keep {
@@ -771,6 +779,10 @@ func runSpec(spec RunSpec) (RunSummary, *Result) {
 	if err != nil {
 		summary.Err = err.Error()
 		return summary, nil
+	}
+	if len(r.Invariants) > 0 {
+		summary.Err = "invariants violated: " + strings.Join(r.Invariants, "; ")
+		return summary, r
 	}
 	summary.OptimumMbps = r.Optimum.Total
 	summary.TargetMbps = r.Summary.Target
