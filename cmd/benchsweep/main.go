@@ -1,17 +1,21 @@
-// Command benchsweep runs a fixed reference sweep — static and
-// dynamic-event cells over the paper network — and emits its throughput
-// and timing as a small JSON document. CI runs it as the benchmark smoke
-// step and stores the output as BENCH_sweep.json, giving the repository a
-// performance trajectory across commits.
+// Command benchsweep runs a fixed pair of reference sweeps — a static and
+// a dynamic-event workload over the paper network — and emits their
+// throughput and timing as a small JSON artifact. CI runs it as the
+// benchmark smoke step, stores the output as BENCH_sweep.json, and feeds
+// the previous main-branch artifact back through -compare/-against as the
+// regression gate: any benchmark losing more than 20% runs/s fails the
+// build.
 //
 //	benchsweep -out BENCH_sweep.json
 //	benchsweep -workers 4 -seeds 5
+//	benchsweep -compare BENCH_sweep.json -against prev/BENCH_sweep.json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -19,8 +23,19 @@ import (
 	"mptcpsim"
 )
 
-// report is the benchmark artifact schema. Fields are stable so the
-// trajectory stays comparable across commits.
+// artifact is the benchmark document schema. Commit and GoVersion trace
+// each point of the performance trajectory back to the code and toolchain
+// that produced it; the per-benchmark fields are stable so points stay
+// comparable across commits.
+type artifact struct {
+	// Commit is the source revision (GITHUB_SHA in CI; empty locally).
+	Commit    string `json:"commit,omitempty"`
+	GoVersion string `json:"go_version"`
+	// Benchmarks holds one report per reference workload, in fixed order.
+	Benchmarks []report `json:"benchmarks"`
+}
+
+// report is one benchmark's outcome.
 type report struct {
 	Name    string `json:"name"`
 	Workers int    `json:"workers"`
@@ -35,23 +50,36 @@ type report struct {
 	// MeanGapPct sanity-checks the protocol side: it should move only when
 	// the simulation itself changes, never with worker count or hardware.
 	MeanGapPct float64 `json:"mean_gap_pct"`
-	GoVersion  string  `json:"go_version"`
 }
 
-// benchGrid is the fixed reference workload: two CCs, two orderings, one
-// static and one outage event set, 1 s of traffic per run, n seeds each.
-func benchGrid(seeds int) *mptcpsim.Grid {
+// benchmarks lists the reference workloads: the static sweep isolates the
+// steady-state hot path, the dynamic one adds the event/epoch machinery
+// (piecewise LP baselines, link mutators) so a regression in either layer
+// shows up under its own name.
+func benchmarks() []struct {
+	name   string
+	events mptcpsim.EventSet
+} {
+	return []struct {
+		name   string
+		events mptcpsim.EventSet
+	}{
+		{"sweep_static", mptcpsim.EventSet{Name: "static"}},
+		{"sweep_dynamic", mptcpsim.EventSet{Name: "outage", Events: []mptcpsim.ScenarioEvent{
+			{AtMs: 400, Type: mptcpsim.EventLinkDown, A: "s", B: "v1"},
+			{AtMs: 700, Type: mptcpsim.EventLinkUp, A: "s", B: "v1"},
+		}}},
+	}
+}
+
+// benchGrid is one benchmark's fixed workload: two CCs, two orderings,
+// the given event set, 1 s of traffic per run, n seeds each.
+func benchGrid(seeds int, events mptcpsim.EventSet) *mptcpsim.Grid {
 	grid := &mptcpsim.Grid{
 		CCs:        []string{"cubic", "olia"},
 		Orders:     [][]int{{2, 1, 3}, {1, 2, 3}},
 		DurationMs: 1000,
-		Events: []mptcpsim.EventSet{
-			{Name: "static"},
-			{Name: "outage", Events: []mptcpsim.ScenarioEvent{
-				{AtMs: 400, Type: mptcpsim.EventLinkDown, A: "s", B: "v1"},
-				{AtMs: 700, Type: mptcpsim.EventLinkUp, A: "s", B: "v1"},
-			}},
-		},
+		Events:     []mptcpsim.EventSet{events},
 	}
 	for s := 1; s <= seeds; s++ {
 		grid.Seeds = append(grid.Seeds, int64(s))
@@ -59,10 +87,10 @@ func benchGrid(seeds int) *mptcpsim.Grid {
 	return grid
 }
 
-// buildReport derives the artifact from a finished sweep.
-func buildReport(res *mptcpsim.SweepResult, grid *mptcpsim.Grid, workers int, wall float64) report {
+// buildReport derives one benchmark's report from a finished sweep.
+func buildReport(name string, res *mptcpsim.SweepResult, grid *mptcpsim.Grid, workers int, wall float64) report {
 	return report{
-		Name:          "sweep",
+		Name:          name,
 		Workers:       workers,
 		Runs:          len(res.Runs),
 		Errors:        res.Errs(),
@@ -71,28 +99,128 @@ func buildReport(res *mptcpsim.SweepResult, grid *mptcpsim.Grid, workers int, wa
 		SimSecondsPerSecond: float64(len(res.Runs)) *
 			(grid.DurationMs / 1000) / wall,
 		MeanGapPct: res.Gap.Mean * 100,
-		GoVersion:  runtime.Version(),
 	}
+}
+
+// compareArtifacts applies the regression gate: every benchmark present
+// in both artifacts must keep at least (1 - maxDrop) of its previous
+// runs/s. A previous artifact without benchmarks (first run, or the
+// pre-multi-benchmark schema) passes with a notice — the gate needs a
+// trajectory before it can gate. Faster-than-before is never an error.
+func compareArtifacts(fresh, prev artifact, maxDrop float64, w io.Writer) error {
+	if len(prev.Benchmarks) == 0 {
+		fmt.Fprintln(w, "benchsweep: previous artifact has no benchmarks (first run or older schema); gate passes")
+		return nil
+	}
+	prevByName := make(map[string]report, len(prev.Benchmarks))
+	for _, b := range prev.Benchmarks {
+		prevByName[b.Name] = b
+	}
+	var failed []string
+	for _, b := range fresh.Benchmarks {
+		p, ok := prevByName[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "benchsweep: %s: no previous data (new benchmark); skipped\n", b.Name)
+			continue
+		}
+		if p.RunsPerSecond <= 0 {
+			fmt.Fprintf(w, "benchsweep: %s: previous runs/s is %.2f; skipped\n", b.Name, p.RunsPerSecond)
+			continue
+		}
+		change := b.RunsPerSecond/p.RunsPerSecond - 1
+		fmt.Fprintf(w, "benchsweep: %s: %.2f -> %.2f runs/s (%+.1f%%)\n",
+			b.Name, p.RunsPerSecond, b.RunsPerSecond, change*100)
+		if change < -maxDrop {
+			failed = append(failed, b.Name)
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("benchmark(s) %v regressed more than %.0f%% in runs/s (prev commit %s, go %s)",
+			failed, maxDrop*100, orUnknown(prev.Commit), orUnknown(prev.GoVersion))
+	}
+	return nil
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
+}
+
+// compare runs the gate between two artifact files. A missing or
+// unreadable previous file passes with a notice so the first CI run on a
+// repository (or after an artifact-retention expiry) is not a failure.
+func compare(freshPath, prevPath string, maxDrop float64, w io.Writer) error {
+	freshBytes, err := os.ReadFile(freshPath)
+	if err != nil {
+		return err
+	}
+	var fresh artifact
+	if err := json.Unmarshal(freshBytes, &fresh); err != nil {
+		return fmt.Errorf("%s: %w", freshPath, err)
+	}
+	prevBytes, err := os.ReadFile(prevPath)
+	if err != nil {
+		fmt.Fprintf(w, "benchsweep: no previous artifact at %s (%v); gate passes\n", prevPath, err)
+		return nil
+	}
+	var prev artifact
+	if err := json.Unmarshal(prevBytes, &prev); err != nil {
+		fmt.Fprintf(w, "benchsweep: previous artifact unreadable (%v); gate passes\n", err)
+		return nil
+	}
+	return compareArtifacts(fresh, prev, maxDrop, w)
 }
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_sweep.json", "output JSON path (- for stdout)")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "sweep worker goroutines")
-		seeds   = flag.Int("seeds", 3, "seeds 1..n per cell")
+		out        = flag.String("out", "BENCH_sweep.json", "output JSON path (- for stdout)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "sweep worker goroutines")
+		seeds      = flag.Int("seeds", 3, "seeds 1..n per cell")
+		commit     = flag.String("commit", os.Getenv("GITHUB_SHA"), "source revision recorded in the artifact")
+		repeat     = flag.Int("repeat", 1, "sweeps per benchmark; the fastest is reported (best-of-n damps shared-runner noise)")
+		comparePth = flag.String("compare", "", "fresh artifact to gate (skips the sweep; requires -against)")
+		against    = flag.String("against", "", "previous artifact the gate compares -compare to")
+		maxDrop    = flag.Float64("max-regression", 0.20, "allowed fractional runs/s drop per benchmark")
 	)
 	flag.Parse()
 
-	grid := benchGrid(*seeds)
-	start := time.Now()
-	res, err := (&mptcpsim.Sweep{Workers: *workers}).Run(grid)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchsweep:", err)
-		os.Exit(1)
+	if *comparePth != "" || *against != "" {
+		if *comparePth == "" || *against == "" {
+			fmt.Fprintln(os.Stderr, "benchsweep: -compare and -against go together")
+			os.Exit(1)
+		}
+		if err := compare(*comparePth, *against, *maxDrop, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsweep:", err)
+			os.Exit(1)
+		}
+		return
 	}
-	r := buildReport(res, grid, *workers, time.Since(start).Seconds())
 
-	enc, err := json.MarshalIndent(r, "", "  ")
+	if *repeat < 1 {
+		*repeat = 1
+	}
+	doc := artifact{Commit: *commit, GoVersion: runtime.Version()}
+	for _, b := range benchmarks() {
+		grid := benchGrid(*seeds, b.events)
+		var best report
+		for i := 0; i < *repeat; i++ {
+			start := time.Now()
+			res, err := (&mptcpsim.Sweep{Workers: *workers}).Run(grid)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchsweep:", err)
+				os.Exit(1)
+			}
+			r := buildReport(b.name, res, grid, *workers, time.Since(start).Seconds())
+			if i == 0 || r.WallSeconds < best.WallSeconds {
+				best = r
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, best)
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsweep:", err)
 		os.Exit(1)
@@ -105,11 +233,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchsweep:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "benchsweep: %d runs in %.2fs (%.1f runs/s), wrote %s\n",
-			r.Runs, r.WallSeconds, r.RunsPerSecond, *out)
+		for _, r := range doc.Benchmarks {
+			fmt.Fprintf(os.Stderr, "benchsweep: %s: %d runs in %.2fs (%.1f runs/s)\n",
+				r.Name, r.Runs, r.WallSeconds, r.RunsPerSecond)
+		}
+		fmt.Fprintf(os.Stderr, "benchsweep: wrote %s\n", *out)
 	}
-	if r.Errors > 0 {
-		fmt.Fprintf(os.Stderr, "benchsweep: %d runs failed\n", r.Errors)
+	errs := 0
+	for _, r := range doc.Benchmarks {
+		errs += r.Errors
+	}
+	if errs > 0 {
+		fmt.Fprintf(os.Stderr, "benchsweep: %d runs failed\n", errs)
 		os.Exit(1)
 	}
 }

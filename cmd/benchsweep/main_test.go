@@ -1,47 +1,57 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"mptcpsim"
 )
 
 func TestBenchGridShape(t *testing.T) {
-	grid := benchGrid(3)
-	specs, err := grid.Expand()
-	if err != nil {
-		t.Fatal(err)
-	}
-	// 2 CCs x 2 orders x 2 event sets x 3 seeds.
-	if len(specs) != 24 {
-		t.Fatalf("bench grid expands to %d runs, want 24", len(specs))
+	for _, b := range benchmarks() {
+		grid := benchGrid(3, b.events)
+		specs, err := grid.Expand()
+		if err != nil {
+			t.Fatalf("%s: %v", b.name, err)
+		}
+		// 2 CCs x 2 orders x 1 event set x 3 seeds.
+		if len(specs) != 12 {
+			t.Fatalf("%s: grid expands to %d runs, want 12", b.name, len(specs))
+		}
 	}
 }
 
 // The artifact schema is a contract with the CI trajectory: field names
 // and their population must not drift silently.
-func TestReportSchema(t *testing.T) {
+func TestArtifactSchema(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a real (reduced) sweep")
 	}
-	grid := benchGrid(1)
-	res, err := (&mptcpsim.Sweep{Workers: 4}).Run(grid)
-	if err != nil {
-		t.Fatal(err)
-	}
-	r := buildReport(res, grid, 4, 2.0)
-	if r.Runs != 8 || r.Errors != 0 {
-		t.Fatalf("runs=%d errors=%d, want 8/0", r.Runs, r.Errors)
-	}
-	if r.RunsPerSecond != 4 || r.SimSecondsPerSecond != 4 {
-		t.Fatalf("throughput fields wrong: %+v", r)
-	}
-	if r.MeanGapPct <= 0 || r.MeanGapPct >= 100 {
-		t.Fatalf("mean gap %.2f%% implausible", r.MeanGapPct)
+	doc := artifact{Commit: "deadbeef", GoVersion: "go1.24"}
+	for _, b := range benchmarks() {
+		grid := benchGrid(1, b.events)
+		res, err := (&mptcpsim.Sweep{Workers: 4}).Run(grid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := buildReport(b.name, res, grid, 4, 2.0)
+		if r.Runs != 4 || r.Errors != 0 {
+			t.Fatalf("%s: runs=%d errors=%d, want 4/0", b.name, r.Runs, r.Errors)
+		}
+		if r.RunsPerSecond != 2 || r.SimSecondsPerSecond != 2 {
+			t.Fatalf("%s: throughput fields wrong: %+v", b.name, r)
+		}
+		if r.MeanGapPct <= 0 || r.MeanGapPct >= 100 {
+			t.Fatalf("%s: mean gap %.2f%% implausible", b.name, r.MeanGapPct)
+		}
+		doc.Benchmarks = append(doc.Benchmarks, r)
 	}
 
-	enc, err := json.Marshal(r)
+	enc, err := json.Marshal(doc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,11 +59,102 @@ func TestReportSchema(t *testing.T) {
 	if err := json.Unmarshal(enc, &fields); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"name", "workers", "runs", "errors",
-		"wall_seconds", "runs_per_second", "sim_seconds_per_second",
-		"mean_gap_pct", "go_version"} {
+	for _, key := range []string{"commit", "go_version", "benchmarks"} {
 		if _, ok := fields[key]; !ok {
 			t.Errorf("artifact lost field %q", key)
 		}
+	}
+	benches, ok := fields["benchmarks"].([]any)
+	if !ok || len(benches) != 2 {
+		t.Fatalf("benchmarks field malformed: %v", fields["benchmarks"])
+	}
+	bench, ok := benches[0].(map[string]any)
+	if !ok {
+		t.Fatalf("benchmark entry malformed: %v", benches[0])
+	}
+	for _, key := range []string{"name", "workers", "runs", "errors",
+		"wall_seconds", "runs_per_second", "sim_seconds_per_second",
+		"mean_gap_pct"} {
+		if _, ok := bench[key]; !ok {
+			t.Errorf("benchmark entry lost field %q", key)
+		}
+	}
+}
+
+func art(rps ...float64) artifact {
+	doc := artifact{Commit: "c0ffee", GoVersion: "go1.24"}
+	names := []string{"sweep_static", "sweep_dynamic"}
+	for i, v := range rps {
+		doc.Benchmarks = append(doc.Benchmarks, report{Name: names[i], RunsPerSecond: v})
+	}
+	return doc
+}
+
+func TestCompareArtifactsGate(t *testing.T) {
+	var out bytes.Buffer
+	// Within the 20% budget (and improvements) pass.
+	if err := compareArtifacts(art(9, 12), art(10, 10), 0.20, &out); err != nil {
+		t.Fatalf("10%% drop failed the 20%% gate: %v", err)
+	}
+	// A >20% drop on either benchmark fails and names it.
+	err := compareArtifacts(art(7, 10), art(10, 10), 0.20, &out)
+	if err == nil || !strings.Contains(err.Error(), "sweep_static") {
+		t.Fatalf("30%% drop passed or unnamed: %v", err)
+	}
+	if err := compareArtifacts(art(10, 7), art(10, 10), 0.20, &out); err == nil {
+		t.Fatal("30% dynamic drop passed")
+	}
+	// No previous benchmarks (first run / old schema): notice, pass.
+	if err := compareArtifacts(art(10, 10), artifact{}, 0.20, &out); err != nil {
+		t.Fatalf("empty previous artifact failed the gate: %v", err)
+	}
+	// A benchmark new in this commit has no baseline: skipped.
+	if err := compareArtifacts(art(10, 10), art(10), 0.20, &out); err != nil {
+		t.Fatalf("new benchmark failed the gate: %v", err)
+	}
+	// A corrupt zero baseline cannot divide-by-zero the gate.
+	if err := compareArtifacts(art(10, 10), art(0, 10), 0.20, &out); err != nil {
+		t.Fatalf("zero baseline failed the gate: %v", err)
+	}
+}
+
+func TestCompareFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, doc artifact) string {
+		enc, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	fresh := write("fresh.json", art(10, 10))
+
+	var out bytes.Buffer
+	// Missing previous artifact: notice, pass (first CI run).
+	if err := compare(fresh, filepath.Join(dir, "absent.json"), 0.20, &out); err != nil {
+		t.Fatalf("missing previous artifact failed the gate: %v", err)
+	}
+	// The pre-multi-benchmark schema (a single flat report) parses to an
+	// artifact without benchmarks: notice, pass.
+	legacy := filepath.Join(dir, "legacy.json")
+	if err := os.WriteFile(legacy, []byte(`{"name":"sweep","runs_per_second":50}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := compare(fresh, legacy, 0.20, &out); err != nil {
+		t.Fatalf("legacy-schema artifact failed the gate: %v", err)
+	}
+	// A regression across real files fails.
+	prev := write("prev.json", art(20, 10))
+	if err := compare(fresh, prev, 0.20, &out); err == nil {
+		t.Fatal("50% regression passed the file gate")
+	}
+	// A missing fresh artifact is a hard error — the sweep step upstream
+	// must have produced it.
+	if err := compare(filepath.Join(dir, "nope.json"), prev, 0.20, &out); err == nil {
+		t.Fatal("missing fresh artifact passed")
 	}
 }

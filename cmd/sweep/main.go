@@ -30,6 +30,14 @@
 // -check attaches the invariant oracle to every run; a violation fails
 // the run like any other error.
 //
+// Large grids shard across processes or machines: -shard k/n runs the
+// deterministic 1/n slice of the grid (expansion index % n == k) and
+// -out writes it as a mergeable artifact; -merge reassembles the n
+// artifacts into output byte-identical to the unsharded sweep:
+//
+//	sweep -grid grid.json -shard 0/4 -q -out shard-0.json   # x4, anywhere
+//	sweep -merge -json sweep.json shard-*.json
+//
 // Examples:
 //
 //	sweep -workers 8
@@ -60,6 +68,10 @@ type config struct {
 	jsonPath   string
 	quiet      bool
 	check      bool
+	shard      string
+	outPath    string
+	merge      bool
+	shardPaths []string
 }
 
 func main() {
@@ -72,8 +84,13 @@ func main() {
 	flag.StringVar(&cfg.groupsPath, "groups", "", "write the aggregate table to this CSV file")
 	flag.StringVar(&cfg.jsonPath, "json", "", "write the full result (runs + groups) to this JSON file")
 	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress per-run progress lines")
+	flag.BoolVar(&cfg.quiet, "q", false, "shorthand for -quiet")
 	flag.BoolVar(&cfg.check, "check", false, "validate correctness invariants on every run")
+	flag.StringVar(&cfg.shard, "shard", "", "run only the k/n slice of the grid (e.g. 0/4) and write a shard artifact")
+	flag.StringVar(&cfg.outPath, "out", "", "shard artifact output path (required with -shard)")
+	flag.BoolVar(&cfg.merge, "merge", false, "merge the shard artifacts named as arguments instead of sweeping")
 	flag.Parse()
+	cfg.shardPaths = flag.Args()
 
 	if err := run(cfg, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -84,6 +101,12 @@ func main() {
 // run executes the whole command against the given streams: progress and
 // timing go to stderr, the deterministic report to stdout.
 func run(cfg config, stdout, stderr io.Writer) error {
+	if cfg.merge {
+		return runMerge(cfg, stdout)
+	}
+	if len(cfg.shardPaths) > 0 {
+		return fmt.Errorf("unexpected arguments %v (shard artifacts are only read with -merge)", cfg.shardPaths)
+	}
 	grid, err := loadGrid(cfg.gridPath)
 	if err != nil {
 		return err
@@ -113,6 +136,13 @@ func run(cfg config, stdout, stderr io.Writer) error {
 		}
 	}
 
+	if cfg.shard != "" {
+		return runShard(cfg, grid, sweep, stdout, stderr)
+	}
+	if cfg.outPath != "" {
+		return fmt.Errorf("-out writes a shard artifact and requires -shard k/n")
+	}
+
 	start := time.Now()
 	res, err := sweep.Run(grid)
 	if err != nil {
@@ -121,6 +151,74 @@ func run(cfg config, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "completed %d runs in %v with %d workers\n",
 		len(res.Runs), time.Since(start).Round(time.Millisecond), cfg.workers)
 
+	if err := report(res, cfg, stdout); err != nil {
+		return err
+	}
+	if n := res.Errs(); n > 0 {
+		return fmt.Errorf("%d of %d runs failed", n, len(res.Runs))
+	}
+	return nil
+}
+
+// runShard executes one k/n slice of the grid and writes the mergeable
+// shard artifact. Aggregate outputs are refused here — groups and the
+// overall gap describe the whole grid, so they are written by -merge (or
+// an unsharded run), never from one shard's subset.
+func runShard(cfg config, grid *mptcpsim.Grid, sweep *mptcpsim.Sweep, stdout, stderr io.Writer) error {
+	shard, err := mptcpsim.ParseShard(cfg.shard)
+	if err != nil {
+		return err
+	}
+	if cfg.outPath == "" {
+		return fmt.Errorf("-shard requires -out to name the shard artifact")
+	}
+	if cfg.csvPath != "" || cfg.groupsPath != "" || cfg.jsonPath != "" {
+		return fmt.Errorf("-csv/-groups/-json aggregate the whole grid; write them from -merge, not a shard")
+	}
+
+	start := time.Now()
+	res, err := sweep.RunShard(grid, shard)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "shard %s: completed %d of %d runs in %v with %d workers\n",
+		shard, len(res.Runs), res.Total, time.Since(start).Round(time.Millisecond), cfg.workers)
+	if err := writeFile(cfg.outPath, res.WriteJSON); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "wrote", cfg.outPath)
+	if n := res.Errs(); n > 0 {
+		return fmt.Errorf("%d of %d shard runs failed", n, len(res.Runs))
+	}
+	return nil
+}
+
+// runMerge reassembles shard artifacts into the unsharded sweep result
+// and renders the usual report and output files from it.
+func runMerge(cfg config, stdout io.Writer) error {
+	if cfg.gridPath != "" || cfg.shard != "" || cfg.outPath != "" {
+		return fmt.Errorf("-merge reads shard artifacts; it takes none of -grid/-shard/-out")
+	}
+	if len(cfg.shardPaths) == 0 {
+		return fmt.Errorf("-merge needs at least one shard artifact argument")
+	}
+	shards := make([]*mptcpsim.ShardResult, len(cfg.shardPaths))
+	for i, path := range cfg.shardPaths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		sr, err := mptcpsim.LoadShard(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		shards[i] = sr
+	}
+	res, err := mptcpsim.MergeShards(shards...)
+	if err != nil {
+		return err
+	}
 	if err := report(res, cfg, stdout); err != nil {
 		return err
 	}

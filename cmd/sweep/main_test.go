@@ -5,6 +5,7 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -143,6 +144,153 @@ func TestRunGolden(t *testing.T) {
 	wantHeader := "index,scenario,perturbation,events,cc,scheduler,order,seed"
 	if got := strings.Join(rows[0][:8], ","); got != wantHeader {
 		t.Fatalf("runs.csv header starts %q, want %q", got, wantHeader)
+	}
+}
+
+// TestCIShardGridShape pins the CI shard-matrix workload: the grid the
+// workflow fans across 4 shards must stay a valid, >= 500-run sweep over
+// every CC, every scheduler and both event sets — the scale at which the
+// distributed-determinism contract is enforced on every PR.
+func TestCIShardGridShape(t *testing.T) {
+	grid, err := loadGrid(filepath.Join("testdata", "ci-shard-grid.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := grid.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) < 500 {
+		t.Fatalf("CI shard grid expands to %d runs, want >= 500", len(specs))
+	}
+	if len(grid.CCs) != 6 || len(grid.Schedulers) != 3 || len(grid.Events) != 2 || len(grid.Seeds) < 2 {
+		t.Fatalf("CI shard grid lost an axis: %d CCs, %d schedulers, %d event sets, %d seeds",
+			len(grid.CCs), len(grid.Schedulers), len(grid.Events), len(grid.Seeds))
+	}
+}
+
+// TestRunShardMergeGolden drives the CLI seam through shard and merge
+// mode: two shards of the golden grid (artifacts golden-checked for
+// schema stability) merged back must reproduce the exact golden report,
+// CSVs and JSON of the unsharded run — the CLI half of the
+// distributed-determinism contract TestShardMergeByteIdentical proves at
+// the library layer.
+func TestRunShardMergeGolden(t *testing.T) {
+	dir := t.TempDir()
+	gridPath := filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(gridPath, []byte(goldenGrid), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var shardPaths []string
+	for k := 0; k < 2; k++ {
+		cfg := config{
+			gridPath: gridPath,
+			workers:  k + 1, // artifacts must not depend on worker count
+			quiet:    true,
+			check:    true,
+			shard:    fmt.Sprintf("%d/2", k),
+			outPath:  filepath.Join(dir, fmt.Sprintf("shard-%d.json", k)),
+		}
+		var stdout, stderr bytes.Buffer
+		if err := run(cfg, &stdout, &stderr); err != nil {
+			t.Fatalf("shard %d: %v\nstderr: %s", k, err, stderr.String())
+		}
+		got, err := os.ReadFile(cfg.outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareGolden(t, fmt.Sprintf("shard-%d.json", k), got)
+		shardPaths = append(shardPaths, cfg.outPath)
+	}
+
+	cfg := config{
+		merge:      true,
+		shardPaths: shardPaths,
+		csvPath:    filepath.Join(dir, "runs.csv"),
+		groupsPath: filepath.Join(dir, "groups.csv"),
+		jsonPath:   filepath.Join(dir, "sweep.json"),
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run(cfg, &stdout, &stderr); err != nil {
+		t.Fatalf("merge: %v\nstderr: %s", err, stderr.String())
+	}
+	var reportLines []string
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		if strings.HasPrefix(line, "wrote ") {
+			continue
+		}
+		reportLines = append(reportLines, line)
+	}
+	// The merged outputs compare against the same golden files as the
+	// unsharded TestRunGolden — byte-identical by contract.
+	compareGolden(t, "report.txt", []byte(strings.Join(reportLines, "\n")))
+	for _, name := range []string{"runs.csv", "groups.csv", "sweep.json"} {
+		got, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareGolden(t, name, got)
+	}
+}
+
+// TestRunFlagDiagnostics exercises the fail-fast checks around the
+// shard/merge flag surface.
+func TestRunFlagDiagnostics(t *testing.T) {
+	dir := t.TempDir()
+	gridPath := filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(gridPath, []byte(goldenGrid), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]struct {
+		cfg  config
+		want string
+	}{
+		"shard without out": {
+			config{gridPath: gridPath, shard: "0/2", quiet: true},
+			"-out",
+		},
+		"shard with aggregate output": {
+			config{gridPath: gridPath, shard: "0/2", outPath: filepath.Join(dir, "s.json"),
+				jsonPath: filepath.Join(dir, "x.json"), quiet: true},
+			"-merge",
+		},
+		"bad shard spec": {
+			config{gridPath: gridPath, shard: "2/2", outPath: filepath.Join(dir, "s.json"), quiet: true},
+			"out of range",
+		},
+		"out without shard": {
+			config{gridPath: gridPath, outPath: filepath.Join(dir, "s.json"), quiet: true},
+			"-shard",
+		},
+		"merge without artifacts": {
+			config{merge: true},
+			"at least one shard artifact",
+		},
+		"merge with grid": {
+			config{merge: true, gridPath: gridPath, shardPaths: []string{"x.json"}},
+			"-grid",
+		},
+		"merge with missing file": {
+			config{merge: true, shardPaths: []string{filepath.Join(dir, "absent.json")}},
+			"absent.json",
+		},
+		"stray arguments": {
+			config{gridPath: gridPath, shardPaths: []string{"stray.json"}, quiet: true},
+			"unexpected arguments",
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(tc.cfg, &stdout, &stderr)
+			if err == nil {
+				t.Fatal("run accepted a broken flag combination")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
 	}
 }
 

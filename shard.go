@@ -1,0 +1,293 @@
+package mptcpsim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Shard selects a deterministic 1/N slice of an expanded grid: the runs
+// whose expansion index i satisfies i % N == K. Because expansion order is
+// deterministic and documented (see Grid), the same grid spec sharded on
+// different machines partitions into the same N disjoint run sets, and
+// MergeShards can reassemble them into the exact unsharded SweepResult.
+type Shard struct {
+	// K is the shard coordinate, 0 <= K < N.
+	K int `json:"k"`
+	// N is the shard count; 1 means the whole grid.
+	N int `json:"n"`
+}
+
+// Validate reports whether the shard coordinates are usable.
+func (s Shard) Validate() error {
+	if s.N < 1 {
+		return fmt.Errorf("mptcpsim: shard count %d (want >= 1)", s.N)
+	}
+	if s.K < 0 || s.K >= s.N {
+		return fmt.Errorf("mptcpsim: shard index %d out of range 0..%d", s.K, s.N-1)
+	}
+	return nil
+}
+
+// String renders the shard in the CLI's k/n form.
+func (s Shard) String() string { return fmt.Sprintf("%d/%d", s.K, s.N) }
+
+// ParseShard parses the CLI form "k/n" (e.g. "0/4") into a Shard.
+func ParseShard(spec string) (Shard, error) {
+	k, n, ok := strings.Cut(spec, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("mptcpsim: shard %q is not of the form k/n", spec)
+	}
+	ki, err := strconv.Atoi(k)
+	if err != nil {
+		return Shard{}, fmt.Errorf("mptcpsim: shard %q: bad index: %v", spec, err)
+	}
+	ni, err := strconv.Atoi(n)
+	if err != nil {
+		return Shard{}, fmt.Errorf("mptcpsim: shard %q: bad count: %v", spec, err)
+	}
+	s := Shard{K: ki, N: ni}
+	if err := s.Validate(); err != nil {
+		return Shard{}, err
+	}
+	return s, nil
+}
+
+// ShardResult is the serialisable artifact of one shard of a sweep: the
+// grid's digest and total size, the shard coordinates, and the shard's run
+// summaries labelled with their global expansion indices. N such artifacts
+// (one per K) are reassembled by MergeShards into a SweepResult identical
+// to the unsharded Sweep.Run output.
+type ShardResult struct {
+	// GridDigest is the canonical SHA-256 over the expanded grid (every
+	// run's index, labels, effective options — a sweep-level
+	// ValidateInvariants folds in here — and topology). Shards merge only
+	// when their digests agree: the guard against mixing artifacts from
+	// different grid specs, different run settings, or library versions
+	// that expand differently.
+	GridDigest string `json:"grid_digest"`
+	// K and N are the shard coordinates (runs with Index % N == K).
+	K int `json:"k"`
+	N int `json:"n"`
+	// Total is the run count of the whole grid, not just this shard.
+	Total int `json:"total"`
+	// Runs are the shard's summaries, in expansion order, with global
+	// indices.
+	Runs []RunSummary `json:"runs"`
+	// Hashes are the canonical Result hashes of the shard's runs (indexed
+	// like Runs; empty string for a failed run). Populated only when the
+	// sweep ran with Keep — a cross-machine replay check that is stronger
+	// than the summaries alone.
+	Hashes []string `json:"hashes,omitempty"`
+}
+
+// Errs counts failed runs in the shard.
+func (sr *ShardResult) Errs() int {
+	n := 0
+	for _, run := range sr.Runs {
+		if run.Err != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteJSON emits the shard artifact as indented JSON, the on-disk format
+// LoadShard reads back.
+func (sr *ShardResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sr)
+}
+
+// LoadShard parses a shard artifact written by ShardResult.WriteJSON.
+// Unknown fields are rejected: an artifact from a newer schema must fail
+// loudly rather than merge with fields silently dropped.
+func LoadShard(r io.Reader) (*ShardResult, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sr ShardResult
+	if err := dec.Decode(&sr); err != nil {
+		return nil, fmt.Errorf("mptcpsim: shard artifact: %w", err)
+	}
+	return &sr, nil
+}
+
+// RunShard expands the grid, keeps only the runs of the given shard, and
+// executes them — the distributed form of Run. Every process sharding the
+// same grid computes the same digest and disjoint index sets, so the N
+// artifacts always merge back into the unsharded result. Like Run,
+// per-run failures land in RunSummary.Err; only structural problems
+// return an error.
+func (s *Sweep) RunShard(g *Grid, shard Shard) (*ShardResult, error) {
+	if err := shard.Validate(); err != nil {
+		return nil, err
+	}
+	specs, err := g.Expand()
+	if err != nil {
+		return nil, err
+	}
+	// Fold the sweep-level oracle flag into the per-run options before
+	// digesting: a run whose invariant violation becomes its Err is not
+	// the same run as an unvalidated one, so shards swept with different
+	// ValidateInvariants settings must refuse to merge rather than mix
+	// provenance under one digest.
+	if s.ValidateInvariants {
+		for i := range specs {
+			specs[i].Options.ValidateInvariants = true
+		}
+	}
+	digest := specsDigest(specs)
+	var mine []RunSpec
+	for _, sp := range specs {
+		if sp.Index%shard.N == shard.K {
+			mine = append(mine, sp)
+		}
+	}
+	runs, results := s.execute(mine)
+	sr := &ShardResult{
+		GridDigest: digest,
+		K:          shard.K,
+		N:          shard.N,
+		Total:      len(specs),
+		Runs:       runs,
+	}
+	if s.Keep {
+		sr.Hashes = make([]string, len(results))
+		for i, r := range results {
+			if r != nil {
+				sr.Hashes[i] = r.Hash()
+			}
+		}
+	}
+	return sr, nil
+}
+
+// MergeShards reassembles shard artifacts into the SweepResult of the
+// unsharded sweep. It accepts the shards in any order but insists on a
+// complete, consistent set: one grid digest, one (N, Total) shape, and
+// every run index 0..Total-1 present exactly once, each inside the shard
+// that owns it. Groups and the overall Gap are recomputed from the full
+// run list (medians and standard deviations do not compose from per-shard
+// aggregates), so the merged value — and every serialisation of it — is
+// byte-identical to Sweep.Run on the same grid.
+func MergeShards(shards ...*ShardResult) (*SweepResult, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("mptcpsim: merge: no shard artifacts")
+	}
+	ref := shards[0]
+	if ref.N < 1 {
+		return nil, fmt.Errorf("mptcpsim: merge: shard %d/%d has invalid shard count", ref.K, ref.N)
+	}
+	if ref.Total < 0 {
+		return nil, fmt.Errorf("mptcpsim: merge: shard %d/%d reports negative total %d", ref.K, ref.N, ref.Total)
+	}
+	runs := make([]RunSummary, ref.Total)
+	seen := make([]bool, ref.Total)
+	for i, sr := range shards {
+		if sr.GridDigest != ref.GridDigest {
+			return nil, fmt.Errorf("mptcpsim: merge: grid digest mismatch: shard %d/%d has %s, shard %d/%d has %s (artifacts from different grids?)",
+				sr.K, sr.N, sr.GridDigest, ref.K, ref.N, ref.GridDigest)
+		}
+		if sr.N != ref.N || sr.Total != ref.Total {
+			return nil, fmt.Errorf("mptcpsim: merge: shard shape mismatch: artifact %d is shard %d/%d of %d runs, artifact 0 is shard %d/%d of %d",
+				i, sr.K, sr.N, sr.Total, ref.K, ref.N, ref.Total)
+		}
+		if err := (Shard{K: sr.K, N: sr.N}).Validate(); err != nil {
+			return nil, fmt.Errorf("mptcpsim: merge: %w", err)
+		}
+		if len(sr.Hashes) > 0 && len(sr.Hashes) != len(sr.Runs) {
+			return nil, fmt.Errorf("mptcpsim: merge: shard %d/%d has %d hashes for %d runs",
+				sr.K, sr.N, len(sr.Hashes), len(sr.Runs))
+		}
+		for _, run := range sr.Runs {
+			if run.Index < 0 || run.Index >= ref.Total {
+				return nil, fmt.Errorf("mptcpsim: merge: shard %d/%d contains run index %d outside 0..%d",
+					sr.K, sr.N, run.Index, ref.Total-1)
+			}
+			if run.Index%sr.N != sr.K {
+				return nil, fmt.Errorf("mptcpsim: merge: run index %d does not belong to shard %d/%d (index %% %d = %d)",
+					run.Index, sr.K, sr.N, sr.N, run.Index%sr.N)
+			}
+			if seen[run.Index] {
+				return nil, fmt.Errorf("mptcpsim: merge: duplicate run index %d (shard %d/%d supplied twice?)",
+					run.Index, sr.K, sr.N)
+			}
+			seen[run.Index] = true
+			runs[run.Index] = run
+		}
+	}
+	var missing []int
+	for i, ok := range seen {
+		if !ok {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) > 0 {
+		ks := missingShards(missing, ref.N)
+		return nil, fmt.Errorf("mptcpsim: merge: %d of %d run indices missing (first: %d); incomplete or absent shard(s) %s of %d",
+			len(missing), ref.Total, missing[0], ks, ref.N)
+	}
+	res := &SweepResult{Runs: runs}
+	res.aggregate()
+	return res, nil
+}
+
+// missingShards names the shard coordinates that own the missing indices,
+// e.g. "1,3" — the actionable half of an incomplete-merge diagnostic.
+func missingShards(missing []int, n int) string {
+	ks := make(map[int]bool)
+	for _, i := range missing {
+		ks[i%n] = true
+	}
+	order := make([]int, 0, len(ks))
+	for k := range ks {
+		order = append(order, k)
+	}
+	sort.Ints(order)
+	parts := make([]string, len(order))
+	for i, k := range order {
+		parts[i] = strconv.Itoa(k)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Digest expands the grid and returns its canonical digest — the value
+// every shard artifact of this grid carries as GridDigest.
+func (g *Grid) Digest() (string, error) {
+	specs, err := g.Expand()
+	if err != nil {
+		return "", err
+	}
+	return specsDigest(specs), nil
+}
+
+// specsDigest computes a canonical SHA-256 over an expanded run list:
+// every run's index, cell labels, complete options and resolved topology
+// (events included). Two grid specs digest equally exactly when they
+// expand to the same runs in the same order — the identity MergeShards
+// checks before trusting that shard index sets partition one grid.
+func specsDigest(specs []RunSpec) string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	for _, sp := range specs {
+		rec := struct {
+			Index        int           `json:"index"`
+			Scenario     string        `json:"scenario"`
+			Perturbation string        `json:"perturbation"`
+			Events       string        `json:"events"`
+			Options      Options       `json:"options"`
+			Topology     *ScenarioFile `json:"topology"`
+		}{sp.Index, sp.Scenario, sp.Perturbation, sp.Events, sp.Options, sp.scenario}
+		// Encoding plain option/topology data to a hash cannot fail.
+		if err := enc.Encode(rec); err != nil {
+			panic(fmt.Sprintf("mptcpsim: spec digest: %v", err))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

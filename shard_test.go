@@ -1,0 +1,361 @@
+package mptcpsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// renderAll renders every serialisation of a sweep result — the formats
+// the shard/merge contract promises are byte-identical to an unsharded
+// run.
+func renderAll(t *testing.T, res *SweepResult) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte, 4)
+	for name, fn := range map[string]func(w *bytes.Buffer) error{
+		"json":   func(w *bytes.Buffer) error { return res.WriteJSON(w) },
+		"csv":    func(w *bytes.Buffer) error { return res.WriteCSV(w) },
+		"groups": func(w *bytes.Buffer) error { return res.WriteGroupsCSV(w) },
+		"report": func(w *bytes.Buffer) error { return res.Report(w) },
+	} {
+		var buf bytes.Buffer
+		if err := fn(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = buf.Bytes()
+	}
+	return out
+}
+
+// shardGrids are the property-test grids: a plain multi-seed grid, a grid
+// exercising every label axis (perturbations, events, schedulers), and a
+// grid whose runs all fail — failed cells must survive sharding too.
+func shardGrids(short bool) map[string]*Grid {
+	grids := map[string]*Grid{
+		"static": {
+			CCs:        []string{"cubic", "olia"},
+			Orders:     [][]int{{2, 1, 3}},
+			Seeds:      []int64{1, 2, 3},
+			DurationMs: 200,
+		},
+		"errors": {
+			CCs:        []string{"cubic", "olia"},
+			DurationMs: 100,
+			Base:       Options{CrossTCP: []int{9}},
+		},
+	}
+	if !short {
+		grids["axes"] = &Grid{
+			CCs:        []string{"cubic", "lia"},
+			Schedulers: []string{"minrtt", "roundrobin"},
+			DurationMs: 300,
+			Perturbations: []Perturbation{
+				{Name: "base"},
+				{Name: "lossy", Loss: 0.005},
+			},
+			Events: []EventSet{
+				{Name: "static"},
+				{Name: "outage", Events: []ScenarioEvent{
+					{AtMs: 100, Type: EventLinkDown, A: "s", B: "v1"},
+					{AtMs: 200, Type: EventLinkUp, A: "s", B: "v1"},
+				}},
+			},
+		}
+	}
+	return grids
+}
+
+// TestShardMergeByteIdentical is the distributed-determinism contract:
+// for every grid and every shard count, running the N shards
+// independently (artifacts round-tripped through their JSON disk format,
+// merged in arbitrary order) reproduces the unsharded SweepResult
+// byte-identically in all four output formats.
+func TestShardMergeByteIdentical(t *testing.T) {
+	ns := []int{1, 2, 3, 5, 7}
+	if testing.Short() {
+		ns = []int{3}
+	}
+	for name, grid := range shardGrids(testing.Short()) {
+		t.Run(name, func(t *testing.T) {
+			full, err := (&Sweep{Workers: 4}).Run(grid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := renderAll(t, full)
+			for _, n := range ns {
+				shards := make([]*ShardResult, 0, n)
+				total := 0
+				// Reverse K order: MergeShards must not care how the
+				// artifacts are listed.
+				for k := n - 1; k >= 0; k-- {
+					sr, err := (&Sweep{Workers: 2}).RunShard(grid, Shard{K: k, N: n})
+					if err != nil {
+						t.Fatal(err)
+					}
+					var buf bytes.Buffer
+					if err := sr.WriteJSON(&buf); err != nil {
+						t.Fatal(err)
+					}
+					loaded, err := LoadShard(&buf)
+					if err != nil {
+						t.Fatal(err)
+					}
+					shards = append(shards, loaded)
+					total += len(loaded.Runs)
+				}
+				if total != len(full.Runs) {
+					t.Fatalf("n=%d: shards hold %d runs, grid has %d", n, total, len(full.Runs))
+				}
+				merged, err := MergeShards(shards...)
+				if err != nil {
+					t.Fatalf("n=%d: %v", n, err)
+				}
+				got := renderAll(t, merged)
+				for format, wantBytes := range want {
+					if !bytes.Equal(got[format], wantBytes) {
+						t.Errorf("n=%d: merged %s differs from unsharded output:\n--- merged ---\n%s\n--- unsharded ---\n%s",
+							n, format, got[format], wantBytes)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRunShardDeterminism: a shard's artifact is bit-identical across
+// worker counts and repeated executions, like the unsharded sweep.
+func TestRunShardDeterminism(t *testing.T) {
+	grid := &Grid{
+		CCs:        []string{"cubic", "olia"},
+		Seeds:      []int64{1, 2, 3},
+		DurationMs: 200,
+	}
+	var outputs []string
+	for _, workers := range []int{1, 8, 8} {
+		sr, err := (&Sweep{Workers: workers}).RunShard(grid, Shard{K: 1, N: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := sr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, buf.String())
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("shard artifact differs between 1 and 8 workers:\n--- w1 ---\n%s\n--- w8 ---\n%s",
+			outputs[0], outputs[1])
+	}
+	if outputs[1] != outputs[2] {
+		t.Fatal("shard artifact differs between two identical executions")
+	}
+}
+
+func TestShardPreservesGlobalIndices(t *testing.T) {
+	grid := &Grid{CCs: []string{"cubic", "olia", "lia"}, DurationMs: 100}
+	sr, err := (&Sweep{Workers: 2}).RunShard(grid, Shard{K: 1, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Total != 3 || len(sr.Runs) != 1 {
+		t.Fatalf("shard 1/2 of 3 runs holds %d of %d", len(sr.Runs), sr.Total)
+	}
+	if sr.Runs[0].Index != 1 {
+		t.Fatalf("shard run carries index %d, want the global expansion index 1", sr.Runs[0].Index)
+	}
+}
+
+func TestRunShardKeepHashes(t *testing.T) {
+	grid := &Grid{CCs: []string{"cubic", "olia"}, DurationMs: 100}
+	a, err := (&Sweep{Workers: 2, Keep: true}).RunShard(grid, Shard{K: 0, N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Hashes) != len(a.Runs) {
+		t.Fatalf("%d hashes for %d runs", len(a.Hashes), len(a.Runs))
+	}
+	for i, h := range a.Hashes {
+		if h == "" {
+			t.Fatalf("run %d (no error) has empty hash", i)
+		}
+	}
+	b, err := (&Sweep{Workers: 1, Keep: true}).RunShard(grid, Shard{K: 0, N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Hashes {
+		if a.Hashes[i] != b.Hashes[i] {
+			t.Fatalf("run %d hash differs across executions: %s vs %s", i, a.Hashes[i], b.Hashes[i])
+		}
+	}
+	// Without Keep the artifact stays lean.
+	c, err := (&Sweep{Workers: 1}).RunShard(grid, Shard{K: 0, N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Hashes) != 0 {
+		t.Fatalf("hashes populated without Keep: %v", c.Hashes)
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	for spec, want := range map[string]Shard{
+		"0/4": {K: 0, N: 4},
+		"3/4": {K: 3, N: 4},
+		"0/1": {K: 0, N: 1},
+	} {
+		got, err := ParseShard(spec)
+		if err != nil {
+			t.Errorf("ParseShard(%q): %v", spec, err)
+		} else if got != want {
+			t.Errorf("ParseShard(%q) = %+v, want %+v", spec, got, want)
+		}
+	}
+	for _, spec := range []string{"", "3", "1/2/3", "a/4", "1/b", "4/4", "-1/4", "0/0", "0/-2"} {
+		if _, err := ParseShard(spec); err == nil {
+			t.Errorf("ParseShard(%q) accepted", spec)
+		}
+	}
+}
+
+func TestRunShardRejectsInvalidShard(t *testing.T) {
+	grid := &Grid{DurationMs: 100}
+	for _, shard := range []Shard{{K: 0, N: 0}, {K: 2, N: 2}, {K: -1, N: 2}} {
+		if _, err := (&Sweep{}).RunShard(grid, shard); err == nil {
+			t.Errorf("RunShard accepted shard %+v", shard)
+		}
+	}
+}
+
+func TestGridDigestIdentifiesGrid(t *testing.T) {
+	a := &Grid{CCs: []string{"cubic"}, Seeds: []int64{1, 2}, DurationMs: 100}
+	d1, err := a.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := a.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("digest not stable: %s vs %s", d1, d2)
+	}
+	b := &Grid{CCs: []string{"cubic"}, Seeds: []int64{1, 3}, DurationMs: 100}
+	d3, err := b.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d1 {
+		t.Fatal("different grids share a digest")
+	}
+}
+
+// fabShard builds a hand-made artifact for the merge error-path tests —
+// MergeShards validates structure, so no runs need executing.
+func fabShard(digest string, k, n, total int, indices ...int) *ShardResult {
+	sr := &ShardResult{GridDigest: digest, K: k, N: n, Total: total}
+	for _, i := range indices {
+		sr.Runs = append(sr.Runs, RunSummary{Index: i})
+	}
+	return sr
+}
+
+func TestMergeShardsDiagnostics(t *testing.T) {
+	cases := map[string]struct {
+		shards []*ShardResult
+		want   string
+	}{
+		"no shards": {nil, "no shard artifacts"},
+		"digest mismatch": {
+			[]*ShardResult{fabShard("aaa", 0, 2, 4, 0, 2), fabShard("bbb", 1, 2, 4, 1, 3)},
+			"grid digest mismatch",
+		},
+		"shard count mismatch": {
+			[]*ShardResult{fabShard("aaa", 0, 2, 4, 0, 2), fabShard("aaa", 1, 3, 4, 1)},
+			"shape mismatch",
+		},
+		"total mismatch": {
+			[]*ShardResult{fabShard("aaa", 0, 2, 4, 0, 2), fabShard("aaa", 1, 2, 6, 1, 3, 5)},
+			"shape mismatch",
+		},
+		"invalid shard coordinates": {
+			[]*ShardResult{fabShard("aaa", 2, 2, 4, 0)},
+			"out of range",
+		},
+		"missing shard": {
+			[]*ShardResult{fabShard("aaa", 0, 2, 4, 0, 2)},
+			"shard(s) 1 of 2",
+		},
+		"incomplete shard": {
+			[]*ShardResult{fabShard("aaa", 0, 2, 4, 0, 2), fabShard("aaa", 1, 2, 4, 1)},
+			"missing",
+		},
+		"duplicate shard": {
+			[]*ShardResult{fabShard("aaa", 0, 2, 4, 0, 2), fabShard("aaa", 0, 2, 4, 0, 2), fabShard("aaa", 1, 2, 4, 1, 3)},
+			"duplicate run index 0",
+		},
+		"foreign index": {
+			[]*ShardResult{fabShard("aaa", 0, 2, 4, 0, 1), fabShard("aaa", 1, 2, 4, 1, 3)},
+			"does not belong to shard 0/2",
+		},
+		"index out of range": {
+			[]*ShardResult{fabShard("aaa", 0, 2, 4, 0, 99), fabShard("aaa", 1, 2, 4, 1, 3)},
+			"outside 0..3",
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := MergeShards(tc.shards...)
+			if err == nil {
+				t.Fatal("merge accepted a broken shard set")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestMergeRejectsMixedValidateInvariants: the sweep-level oracle flag
+// changes what a run can report (violations become Errs), so shards
+// swept with and without it carry different digests and must not merge.
+func TestMergeRejectsMixedValidateInvariants(t *testing.T) {
+	grid := &Grid{CCs: []string{"cubic", "olia"}, DurationMs: 100}
+	plain, err := (&Sweep{Workers: 1}).RunShard(grid, Shard{K: 0, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := (&Sweep{Workers: 1, ValidateInvariants: true}).RunShard(grid, Shard{K: 1, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.GridDigest == checked.GridDigest {
+		t.Fatal("validated and unvalidated shards share a grid digest")
+	}
+	if _, err := MergeShards(plain, checked); err == nil || !strings.Contains(err.Error(), "digest mismatch") {
+		t.Fatalf("mixed-provenance merge not rejected: %v", err)
+	}
+	// Two validated shards still merge.
+	other, err := (&Sweep{Workers: 2, ValidateInvariants: true}).RunShard(grid, Shard{K: 0, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeShards(checked, other); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeShardsRejectsShortHashes(t *testing.T) {
+	a := fabShard("aaa", 0, 2, 2, 0)
+	a.Hashes = []string{"h0", "h1"}
+	b := fabShard("aaa", 1, 2, 2, 1)
+	if _, err := MergeShards(a, b); err == nil || !strings.Contains(err.Error(), "hashes") {
+		t.Fatalf("hash/run length mismatch not diagnosed: %v", err)
+	}
+}
+
+func TestLoadShardRejectsUnknownFields(t *testing.T) {
+	if _, err := LoadShard(strings.NewReader(`{"grid_digest":"a","k":0,"n":1,"total":0,"runs":[],"surprise":1}`)); err == nil {
+		t.Fatal("unknown artifact field accepted")
+	}
+}

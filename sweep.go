@@ -701,6 +701,17 @@ func (s *Sweep) Run(g *Grid) (*SweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	runs, results := s.execute(specs)
+	res := &SweepResult{Runs: runs, Results: results}
+	res.aggregate()
+	return res, nil
+}
+
+// execute runs the specs across the worker pool. Summaries (and, when Keep
+// is set, full Results) land at their slice position — which equals the
+// grid index for a full sweep but not for a shard, where specs is a
+// filtered subset that keeps the global RunSpec.Index labels.
+func (s *Sweep) execute(specs []RunSpec) ([]RunSummary, []*Result) {
 	workers := s.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -709,9 +720,10 @@ func (s *Sweep) Run(g *Grid) (*SweepResult, error) {
 		workers = len(specs)
 	}
 
-	res := &SweepResult{Runs: make([]RunSummary, len(specs))}
+	runs := make([]RunSummary, len(specs))
+	var results []*Result
 	if s.Keep {
-		res.Results = make([]*Result, len(specs))
+		results = make([]*Result, len(specs))
 	}
 
 	var (
@@ -730,9 +742,9 @@ func (s *Sweep) Run(g *Grid) (*SweepResult, error) {
 					spec.Options.ValidateInvariants = true
 				}
 				summary, full := runSpec(spec)
-				res.Runs[i] = summary
+				runs[i] = summary
 				if s.Keep {
-					res.Results[i] = full
+					results[i] = full
 				}
 				if s.OnResult != nil {
 					mu.Lock()
@@ -748,9 +760,7 @@ func (s *Sweep) Run(g *Grid) (*SweepResult, error) {
 	}
 	close(jobs)
 	wg.Wait()
-
-	res.aggregate()
-	return res, nil
+	return runs, results
 }
 
 // runSpec executes one grid point on a freshly built network (Run mutates
