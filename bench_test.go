@@ -236,6 +236,7 @@ func BenchmarkSweep(b *testing.B) {
 		Seeds:      []int64{1, 2, 3},
 		DurationMs: 1000,
 	}
+	b.ReportAllocs()
 	var runs int
 	for i := 0; i < b.N; i++ {
 		res, err := (&Sweep{}).Run(grid)
@@ -267,6 +268,7 @@ func BenchmarkSweepDynamic(b *testing.B) {
 			}},
 		},
 	}
+	b.ReportAllocs()
 	var runs int
 	for i := 0; i < b.N; i++ {
 		res, err := (&Sweep{}).Run(grid)

@@ -50,6 +50,12 @@ type report struct {
 	// MeanGapPct sanity-checks the protocol side: it should move only when
 	// the simulation itself changes, never with worker count or hardware.
 	MeanGapPct float64 `json:"mean_gap_pct"`
+	// AllocsPerRun is the process-wide heap allocation count divided by
+	// the number of simulation runs — the tracking number for the
+	// zero-allocation event fast path. Unlike runs/s it is almost
+	// machine-independent, so a jump means scheduling started allocating
+	// again, not that the runner was busy.
+	AllocsPerRun float64 `json:"allocs_per_run"`
 }
 
 // benchmarks lists the reference workloads: the static sweep isolates the
@@ -88,7 +94,7 @@ func benchGrid(seeds int, events mptcpsim.EventSet) *mptcpsim.Grid {
 }
 
 // buildReport derives one benchmark's report from a finished sweep.
-func buildReport(name string, res *mptcpsim.SweepResult, grid *mptcpsim.Grid, workers int, wall float64) report {
+func buildReport(name string, res *mptcpsim.SweepResult, grid *mptcpsim.Grid, workers int, wall float64, allocs uint64) report {
 	return report{
 		Name:          name,
 		Workers:       workers,
@@ -98,9 +104,16 @@ func buildReport(name string, res *mptcpsim.SweepResult, grid *mptcpsim.Grid, wo
 		RunsPerSecond: float64(len(res.Runs)) / wall,
 		SimSecondsPerSecond: float64(len(res.Runs)) *
 			(grid.DurationMs / 1000) / wall,
-		MeanGapPct: res.Gap.Mean * 100,
+		MeanGapPct:   res.Gap.Mean * 100,
+		AllocsPerRun: float64(allocs) / float64(len(res.Runs)),
 	}
 }
+
+// maxAllocGrowth is the compare gate's budget for allocs/op: a 50% jump
+// means a scheduling path started allocating again (the fast path is
+// worth ~10x, so a real regression blows far past this), while run-to-run
+// noise in the process-wide counter stays well under it.
+const maxAllocGrowth = 0.50
 
 // compareArtifacts applies the regression gate: every benchmark present
 // in both artifacts must keep at least (1 - maxDrop) of its previous
@@ -133,10 +146,21 @@ func compareArtifacts(fresh, prev artifact, maxDrop float64, w io.Writer) error 
 		if change < -maxDrop {
 			failed = append(failed, b.Name)
 		}
+		// The allocation half of the gate: previous artifacts from before
+		// the allocs_per_run field (or with a corrupt zero) carry no
+		// baseline and are skipped.
+		if p.AllocsPerRun > 0 && b.AllocsPerRun > 0 {
+			growth := b.AllocsPerRun/p.AllocsPerRun - 1
+			fmt.Fprintf(w, "benchsweep: %s: %.0f -> %.0f allocs/run (%+.1f%%)\n",
+				b.Name, p.AllocsPerRun, b.AllocsPerRun, growth*100)
+			if growth > maxAllocGrowth {
+				failed = append(failed, b.Name+" (allocs/run)")
+			}
+		}
 	}
 	if len(failed) > 0 {
-		return fmt.Errorf("benchmark(s) %v regressed more than %.0f%% in runs/s (prev commit %s, go %s)",
-			failed, maxDrop*100, orUnknown(prev.Commit), orUnknown(prev.GoVersion))
+		return fmt.Errorf("benchmark(s) %v regressed (>%.0f%% runs/s drop or >%.0f%% allocs/run growth; prev commit %s, go %s)",
+			failed, maxDrop*100, maxAllocGrowth*100, orUnknown(prev.Commit), orUnknown(prev.GoVersion))
 	}
 	return nil
 }
@@ -206,13 +230,20 @@ func main() {
 		grid := benchGrid(*seeds, b.events)
 		var best report
 		for i := 0; i < *repeat; i++ {
+			// Mallocs is a monotone process-wide count; the delta across
+			// the sweep is the allocation bill of these runs (plus
+			// background noise far below the gate's resolution).
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
 			start := time.Now()
 			res, err := (&mptcpsim.Sweep{Workers: *workers}).Run(grid)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "benchsweep:", err)
 				os.Exit(1)
 			}
-			r := buildReport(b.name, res, grid, *workers, time.Since(start).Seconds())
+			wall := time.Since(start).Seconds()
+			runtime.ReadMemStats(&after)
+			r := buildReport(b.name, res, grid, *workers, wall, after.Mallocs-before.Mallocs)
 			if i == 0 || r.WallSeconds < best.WallSeconds {
 				best = r
 			}

@@ -38,12 +38,15 @@ func TestArtifactSchema(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		r := buildReport(b.name, res, grid, 4, 2.0)
+		r := buildReport(b.name, res, grid, 4, 2.0, 4000)
 		if r.Runs != 4 || r.Errors != 0 {
 			t.Fatalf("%s: runs=%d errors=%d, want 4/0", b.name, r.Runs, r.Errors)
 		}
 		if r.RunsPerSecond != 2 || r.SimSecondsPerSecond != 2 {
 			t.Fatalf("%s: throughput fields wrong: %+v", b.name, r)
+		}
+		if r.AllocsPerRun != 1000 {
+			t.Fatalf("%s: allocs/run = %v, want 1000", b.name, r.AllocsPerRun)
 		}
 		if r.MeanGapPct <= 0 || r.MeanGapPct >= 100 {
 			t.Fatalf("%s: mean gap %.2f%% implausible", b.name, r.MeanGapPct)
@@ -74,7 +77,7 @@ func TestArtifactSchema(t *testing.T) {
 	}
 	for _, key := range []string{"name", "workers", "runs", "errors",
 		"wall_seconds", "runs_per_second", "sim_seconds_per_second",
-		"mean_gap_pct"} {
+		"mean_gap_pct", "allocs_per_run"} {
 		if _, ok := bench[key]; !ok {
 			t.Errorf("benchmark entry lost field %q", key)
 		}
@@ -115,6 +118,33 @@ func TestCompareArtifactsGate(t *testing.T) {
 	// A corrupt zero baseline cannot divide-by-zero the gate.
 	if err := compareArtifacts(art(10, 10), art(0, 10), 0.20, &out); err != nil {
 		t.Fatalf("zero baseline failed the gate: %v", err)
+	}
+}
+
+// artA builds a single-benchmark artifact with both gate inputs set.
+func artA(rps, allocs float64) artifact {
+	return artifact{Commit: "c0ffee", GoVersion: "go1.24", Benchmarks: []report{
+		{Name: "sweep_static", RunsPerSecond: rps, AllocsPerRun: allocs},
+	}}
+}
+
+func TestCompareArtifactsAllocGate(t *testing.T) {
+	var out bytes.Buffer
+	// Allocation counts within the 50% budget (and improvements) pass.
+	if err := compareArtifacts(artA(10, 1200), artA(10, 1000), 0.20, &out); err != nil {
+		t.Fatalf("20%% alloc growth failed the 50%% gate: %v", err)
+	}
+	if err := compareArtifacts(artA(10, 100), artA(10, 1000), 0.20, &out); err != nil {
+		t.Fatalf("alloc improvement failed the gate: %v", err)
+	}
+	// A >50% allocs/run jump fails and names the benchmark.
+	err := compareArtifacts(artA(10, 1600), artA(10, 1000), 0.20, &out)
+	if err == nil || !strings.Contains(err.Error(), "sweep_static (allocs/run)") {
+		t.Fatalf("60%% alloc growth passed or unnamed: %v", err)
+	}
+	// Pre-allocs-field artifacts (zero baseline) skip the alloc half.
+	if err := compareArtifacts(artA(10, 99999), artA(10, 0), 0.20, &out); err != nil {
+		t.Fatalf("missing alloc baseline failed the gate: %v", err)
 	}
 }
 

@@ -16,8 +16,13 @@
 // across reruns and across -workers values, so CI can diff two
 // invocations. Exit status is non-zero if any scenario fails.
 //
+// A golden hash corpus locks the whole pipeline across performance work:
+// -write-golden records every scenario's full canonical hash, -golden
+// replays a recorded corpus and fails on any byte that moved.
+//
 //	simcheck -n 200 -seed 1
 //	simcheck -n 50 -seed 7 -workers 4 -q
+//	simcheck -n 200 -seed 1 -golden internal/check/testdata/hashes-seed1.golden
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 
 	"mptcpsim"
 	"mptcpsim/internal/check"
+	"mptcpsim/internal/prof"
 )
 
 // runEventLimit aborts any single run after this many simulation events —
@@ -43,6 +49,10 @@ const runEventLimit = 100_000_000
 type outcome struct {
 	ok   bool
 	line string
+	// hash is the full canonical Result hash of a passing scenario (the
+	// report line truncates it for readability; golden corpora need every
+	// byte).
+	hash string
 }
 
 // checkSpec runs one generated spec twice — once under the oracle, once
@@ -83,15 +93,16 @@ func checkSpec(i int, base int64) outcome {
 	if rh := replay.Hash(); rh != h {
 		return fail("replay hash %.12s != %.12s (non-deterministic run)", rh, h)
 	}
-	return outcome{ok: true, line: fmt.Sprintf("%4d ok   seed=%-19d hash=%.12s %s",
+	return outcome{ok: true, hash: h, line: fmt.Sprintf("%4d ok   seed=%-19d hash=%.12s %s",
 		i, sp.Seed, h, sp.Name)}
 }
 
 // runCheck executes n scenarios across a worker pool and writes the
-// deterministic report to w. It returns the number of failed scenarios.
-// The report contains no wall-clock or worker-count data, so its bytes
-// are identical for a given (n, seed) whatever the pool size.
-func runCheck(n int, seed int64, workers int, quiet bool, w io.Writer) int {
+// deterministic report to w. It returns the number of failed scenarios
+// and every scenario's full hash ("" where the scenario failed). The
+// report contains no wall-clock or worker-count data, so its bytes are
+// identical for a given (n, seed) whatever the pool size.
+func runCheck(n int, seed int64, workers int, quiet bool, w io.Writer) (int, []string) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -118,10 +129,12 @@ func runCheck(n int, seed int64, workers int, quiet bool, w io.Writer) int {
 
 	fmt.Fprintf(w, "simcheck: %d scenarios, base seed %d\n", n, seed)
 	failed := 0
-	for _, r := range results {
+	hashes := make([]string, n)
+	for i, r := range results {
 		if !r.ok {
 			failed++
 		}
+		hashes[i] = r.hash
 		if !quiet || !r.ok {
 			fmt.Fprintln(w, r.line)
 		}
@@ -131,7 +144,40 @@ func runCheck(n int, seed int64, workers int, quiet bool, w io.Writer) int {
 		fmt.Fprintf(w, ", %d FAILED", failed)
 	}
 	fmt.Fprintln(w)
-	return failed
+	return failed, hashes
+}
+
+// diffGolden compares the run's hashes against a recorded corpus and
+// writes a deterministic verdict. It returns the number of divergences
+// (mismatched hashes plus any shape mismatch).
+func diffGolden(g check.Golden, seed int64, hashes []string, w io.Writer) int {
+	if g.Seed != seed {
+		fmt.Fprintf(w, "golden: corpus was recorded with base seed %d, run used %d\n", g.Seed, seed)
+		return 1
+	}
+	if len(g.Hashes) != len(hashes) {
+		fmt.Fprintf(w, "golden: corpus has %d hashes, run produced %d (use -n %d)\n",
+			len(g.Hashes), len(hashes), len(g.Hashes))
+		return 1
+	}
+	diverged := 0
+	for i, want := range g.Hashes {
+		if hashes[i] == want {
+			continue
+		}
+		diverged++
+		got := hashes[i]
+		if got == "" {
+			got = "(scenario failed)"
+		}
+		fmt.Fprintf(w, "golden: %4d DIVERGED want=%.12s got=%.12s\n", i, want, got)
+	}
+	if diverged == 0 {
+		fmt.Fprintf(w, "golden: %d/%d hashes identical to corpus\n", len(g.Hashes), len(g.Hashes))
+	} else {
+		fmt.Fprintf(w, "golden: %d/%d hashes DIVERGED from corpus\n", diverged, len(g.Hashes))
+	}
+	return diverged
 }
 
 func main() {
@@ -140,13 +186,72 @@ func main() {
 		seed    = flag.Int64("seed", 1, "base seed; scenario i uses check.SpecSeed(seed, i)")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel worker goroutines")
 		quiet   = flag.Bool("q", false, "only print failing scenarios and the summary")
+		golden  = flag.String("golden", "", "compare every hash against this recorded corpus; any divergence fails")
+		writeG  = flag.String("write-golden", "", "record the corpus of full hashes to this path (all scenarios must pass)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the whole check to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
 	if *n <= 0 {
 		fmt.Fprintln(os.Stderr, "simcheck: -n must be positive")
 		os.Exit(2)
 	}
-	if runCheck(*n, *seed, *workers, *quiet, os.Stdout) > 0 {
+	if *golden != "" && *writeG != "" {
+		fmt.Fprintln(os.Stderr, "simcheck: -golden and -write-golden are mutually exclusive")
+		os.Exit(2)
+	}
+	var corpus check.Golden
+	if *golden != "" {
+		f, err := os.Open(*golden)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simcheck:", err)
+			os.Exit(2)
+		}
+		corpus, err = check.LoadGolden(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simcheck:", err)
+			os.Exit(2)
+		}
+	}
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simcheck:", err)
+		os.Exit(2)
+	}
+
+	failed, hashes := runCheck(*n, *seed, *workers, *quiet, os.Stdout)
+
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "simcheck:", err)
+		os.Exit(2)
+	}
+
+	if *golden != "" {
+		failed += diffGolden(corpus, *seed, hashes, os.Stdout)
+	}
+	if *writeG != "" {
+		if failed > 0 {
+			fmt.Fprintln(os.Stderr, "simcheck: refusing to record a golden corpus from a failing run")
+			os.Exit(1)
+		}
+		f, err := os.Create(*writeG)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simcheck:", err)
+			os.Exit(1)
+		}
+		werr := check.WriteGolden(f, check.Golden{Seed: *seed, Hashes: hashes})
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "simcheck:", werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "simcheck: recorded %d hashes to %s\n", len(hashes), *writeG)
+	}
+	if failed > 0 {
 		os.Exit(1)
 	}
 }

@@ -11,13 +11,13 @@ import (
 func TestReportDeterministicAcrossWorkers(t *testing.T) {
 	const n, seed = 12, 1
 	var a, b, c bytes.Buffer
-	if failed := runCheck(n, seed, 1, false, &a); failed != 0 {
+	if failed, _ := runCheck(n, seed, 1, false, &a); failed != 0 {
 		t.Fatalf("%d scenarios failed:\n%s", failed, a.String())
 	}
-	if failed := runCheck(n, seed, 4, false, &b); failed != 0 {
+	if failed, _ := runCheck(n, seed, 4, false, &b); failed != 0 {
 		t.Fatalf("%d scenarios failed with 4 workers:\n%s", failed, b.String())
 	}
-	if failed := runCheck(n, seed, 4, false, &c); failed != 0 {
+	if failed, _ := runCheck(n, seed, 4, false, &c); failed != 0 {
 		t.Fatalf("%d scenarios failed on rerun:\n%s", failed, c.String())
 	}
 	if a.String() != b.String() {
@@ -33,7 +33,7 @@ func TestReportDeterministicAcrossWorkers(t *testing.T) {
 
 func TestQuietReportsOnlySummary(t *testing.T) {
 	var buf bytes.Buffer
-	if failed := runCheck(3, 2, 2, true, &buf); failed != 0 {
+	if failed, _ := runCheck(3, 2, 2, true, &buf); failed != 0 {
 		t.Fatalf("%d scenarios failed:\n%s", failed, buf.String())
 	}
 	out := buf.String()

@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"mptcpsim"
+	"mptcpsim/internal/prof"
 )
 
 // config carries the resolved command line.
@@ -89,11 +90,27 @@ func main() {
 	flag.StringVar(&cfg.shard, "shard", "", "run only the k/n slice of the grid (e.g. 0/4) and write a shard artifact")
 	flag.StringVar(&cfg.outPath, "out", "", "shard artifact output path (required with -shard)")
 	flag.BoolVar(&cfg.merge, "merge", false, "merge the shard artifacts named as arguments instead of sweeping")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
+	memProf := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 	cfg.shardPaths = flag.Args()
 
-	if err := run(cfg, os.Stdout, os.Stderr); err != nil {
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	runErr := run(cfg, os.Stdout, os.Stderr)
+	if runErr != nil {
+		// Report before the profile teardown so a failing teardown cannot
+		// mask the sweep's own diagnostic.
+		fmt.Fprintln(os.Stderr, "sweep:", runErr)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	if runErr != nil {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,89 @@
+package check
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Golden is a recorded hash corpus: the canonical Result hash of each of
+// the first len(Hashes) generated scenarios for one base seed. A corpus
+// recorded before a performance refactor locks the refactor end to end —
+// any behavioural drift in the kernel, the network model or the
+// measurement pipeline shows up as a hash mismatch on replay.
+type Golden struct {
+	// Seed is the base seed; scenario i uses SpecSeed(Seed, i).
+	Seed int64
+	// Hashes[i] is the full canonical Result hash of scenario i.
+	Hashes []string
+}
+
+// WriteGolden renders a corpus in the golden file format: comment header,
+// a "seed N" line, then one "index hash" line per scenario. The output is
+// deterministic byte for byte.
+func WriteGolden(w io.Writer, g Golden) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# simcheck golden hash corpus: %d scenarios, base seed %d.\n", len(g.Hashes), g.Seed)
+	fmt.Fprintf(bw, "# Regenerate (only when a simulation-behaviour change is intended):\n")
+	fmt.Fprintf(bw, "#   go run ./cmd/simcheck -n %d -seed %d -write-golden <path>\n", len(g.Hashes), g.Seed)
+	fmt.Fprintf(bw, "seed %d\n", g.Seed)
+	for i, h := range g.Hashes {
+		fmt.Fprintf(bw, "%d %s\n", i, h)
+	}
+	return bw.Flush()
+}
+
+// LoadGolden parses a golden corpus. It is strict: the seed line must
+// precede the hashes, indices must be dense and ascending from 0, and
+// hashes must be non-empty — a truncated or hand-mangled corpus fails
+// loudly instead of silently weakening the differential test.
+func LoadGolden(r io.Reader) (Golden, error) {
+	var g Golden
+	seenSeed := false
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if !seenSeed {
+			var err error
+			rest, ok := strings.CutPrefix(text, "seed ")
+			if !ok {
+				return Golden{}, fmt.Errorf("check: golden line %d: want \"seed N\" before hashes, got %q", line, text)
+			}
+			g.Seed, err = strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				return Golden{}, fmt.Errorf("check: golden line %d: bad seed: %v", line, err)
+			}
+			seenSeed = true
+			continue
+		}
+		idxStr, hash, ok := strings.Cut(text, " ")
+		if !ok || hash == "" {
+			return Golden{}, fmt.Errorf("check: golden line %d: want \"index hash\", got %q", line, text)
+		}
+		idx, err := strconv.Atoi(idxStr)
+		if err != nil {
+			return Golden{}, fmt.Errorf("check: golden line %d: bad index: %v", line, err)
+		}
+		if idx != len(g.Hashes) {
+			return Golden{}, fmt.Errorf("check: golden line %d: index %d out of order (want %d)", line, idx, len(g.Hashes))
+		}
+		g.Hashes = append(g.Hashes, strings.TrimSpace(hash))
+	}
+	if err := sc.Err(); err != nil {
+		return Golden{}, err
+	}
+	if !seenSeed {
+		return Golden{}, fmt.Errorf("check: golden corpus has no seed line")
+	}
+	if len(g.Hashes) == 0 {
+		return Golden{}, fmt.Errorf("check: golden corpus has no hashes")
+	}
+	return g, nil
+}

@@ -1,0 +1,145 @@
+package check_test
+
+// The golden-corpus differential test: the recorded canonical hashes of
+// the 200 simcheck seed-1 scenarios (testdata/hashes-seed1.golden,
+// recorded before the zero-allocation event fast path landed) must be
+// byte-identical on every future commit. This is the safety net for any
+// kernel or hot-path performance work — an optimisation that changes even
+// one measured value of one scenario fails here.
+//
+// The test lives in package check_test because package check cannot
+// import mptcpsim (the root package imports check for the oracle); the
+// external test binary closes the cycle legally.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"mptcpsim"
+	"mptcpsim/internal/check"
+)
+
+// goldenRunEventLimit mirrors cmd/simcheck's runaway guard.
+const goldenRunEventLimit = 100_000_000
+
+// goldenHash runs scenario i of the corpus base seed once and returns its
+// canonical hash.
+func goldenHash(base int64, i int) (string, error) {
+	sp := check.NewSpec(check.SpecSeed(base, i))
+	nw, err := mptcpsim.LoadNetwork(bytes.NewReader(sp.Scenario))
+	if err != nil {
+		return "", fmt.Errorf("scenario %d (seed %d): build: %w", i, sp.Seed, err)
+	}
+	res, err := mptcpsim.Run(nw, mptcpsim.Options{
+		CC: sp.CC, Scheduler: sp.Scheduler, SubflowPaths: sp.Order,
+		Seed: sp.RunSeed, Duration: sp.Duration, QueueScale: sp.QueueScale,
+		EventLimit: goldenRunEventLimit,
+	})
+	if err != nil {
+		return "", fmt.Errorf("scenario %d (seed %d): run: %w", i, sp.Seed, err)
+	}
+	return res.Hash(), nil
+}
+
+func TestGoldenCorpusHashesIdentical(t *testing.T) {
+	f, err := os.Open("testdata/hashes-seed1.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := check.LoadGolden(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(g.Hashes)
+	if testing.Short() {
+		// -short keeps the differential property exercised without the
+		// full corpus cost (the race job runs every test at ~10x).
+		n = 16
+	}
+
+	hashes := make([]string, n)
+	errs := make([]error, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				hashes[i], errs[i] = goldenHash(g.Seed, i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	diverged := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			diverged++
+			t.Errorf("%v", errs[i])
+			continue
+		}
+		if hashes[i] != g.Hashes[i] {
+			diverged++
+			t.Errorf("scenario %d: hash %.12s diverged from golden %.12s", i, hashes[i], g.Hashes[i])
+		}
+	}
+	if diverged > 0 {
+		t.Fatalf("%d/%d golden hashes diverged: the simulation's behaviour changed; "+
+			"if (and only if) the change is intended, re-record with "+
+			"go run ./cmd/simcheck -n %d -seed %d -write-golden internal/check/testdata/hashes-seed1.golden",
+			diverged, n, len(g.Hashes), g.Seed)
+	}
+}
+
+func TestLoadGoldenRoundTrip(t *testing.T) {
+	g := check.Golden{Seed: 42, Hashes: []string{"aa", "bb", "cc"}}
+	var buf bytes.Buffer
+	if err := check.WriteGolden(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := check.LoadGolden(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != g.Seed || len(got.Hashes) != len(g.Hashes) {
+		t.Fatalf("round trip mangled corpus: %+v", got)
+	}
+	for i := range g.Hashes {
+		if got.Hashes[i] != g.Hashes[i] {
+			t.Fatalf("hash %d = %q, want %q", i, got.Hashes[i], g.Hashes[i])
+		}
+	}
+}
+
+func TestLoadGoldenRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no seed line":       "0 abc\n",
+		"empty":              "",
+		"comments only":      "# nothing here\n",
+		"bad seed":           "seed banana\n0 abc\n",
+		"index gap":          "seed 1\n0 abc\n2 def\n",
+		"index out of order": "seed 1\n1 abc\n",
+		"missing hash":       "seed 1\n0\n",
+		"no hashes":          "seed 1\n",
+	}
+	for name, input := range cases {
+		if _, err := check.LoadGolden(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: LoadGolden accepted %q", name, input)
+		}
+	}
+}

@@ -386,28 +386,60 @@ func (tl *Timeline) Schedule(loop *sim.Loop, net *netem.Network, lossRng func() 
 		net.Link(id).SetLoss(0, lossRng())
 	}
 
-	for i, e := range tl.events {
-		e, pair := e, tl.links[i]
-		loop.At(sim.Time(e.At), func() {
-			for _, id := range pair[:] {
-				l := net.Link(id)
-				switch e.Kind {
-				case LinkDown:
-					l.SetDown()
-				case LinkUp:
-					l.SetUp()
-				case SetRate:
-					l.SetRate(e.Rate)
-				case SetDelay:
-					l.SetDelay(e.Delay)
-				case SetLoss:
-					l.SetLossProb(e.Loss)
-				case LossBurst:
-					prev := l.LossProb()
-					l.SetLossProb(e.Loss)
-					loop.Schedule(e.Burst, func() { l.SetLossProb(prev) })
-				}
-			}
-		})
+	// One pre-bound apply struct per event, allocated in a single slice up
+	// front: applying the timeline schedules no closures, so even
+	// event-dense dynamic runs keep the loop's steady state allocation-free.
+	apps := make([]applyEvent, len(tl.events))
+	for i := range tl.events {
+		apps[i] = applyEvent{tl: tl, loop: loop, net: net, idx: i}
+		loop.AtCall(sim.Time(tl.events[i].At), &apps[i])
 	}
 }
+
+// applyEvent is the pre-bound sim.Callback that fires one timeline event.
+// A LossBurst needs a deferred restore per directed link; the two restore
+// slots live inline so the burst schedules without allocating either.
+type applyEvent struct {
+	tl      *Timeline
+	loop    *sim.Loop
+	net     *netem.Network
+	idx     int
+	restore [2]burstRestore
+}
+
+// Run implements sim.Callback.
+func (a *applyEvent) Run(sim.Time) {
+	e := a.tl.events[a.idx]
+	for k, id := range a.tl.links[a.idx][:] {
+		l := a.net.Link(id)
+		switch e.Kind {
+		case LinkDown:
+			l.SetDown()
+		case LinkUp:
+			l.SetUp()
+		case SetRate:
+			l.SetRate(e.Rate)
+		case SetDelay:
+			l.SetDelay(e.Delay)
+		case SetLoss:
+			l.SetLossProb(e.Loss)
+		case LossBurst:
+			r := &a.restore[k]
+			r.link = l
+			r.prev = l.LossProb()
+			l.SetLossProb(e.Loss)
+			a.loop.ScheduleCall(e.Burst, r)
+		}
+	}
+}
+
+// burstRestore reinstates the loss probability in force when its burst
+// began. prev is captured at burst-fire time, not at scheduling time, so
+// an earlier set_loss is honoured exactly as before.
+type burstRestore struct {
+	link *netem.Link
+	prev float64
+}
+
+// Run implements sim.Callback.
+func (b *burstRestore) Run(sim.Time) { b.link.SetLossProb(b.prev) }

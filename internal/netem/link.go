@@ -73,6 +73,19 @@ type Link struct {
 	transmitting bool
 	lastIdleAt   sim.Time
 
+	// txPkt/txTime hold the frame currently serialising and its committed
+	// transmission time; infl/inflHead is the FIFO of frames that left the
+	// transmitter and are still propagating. Together with the pre-bound
+	// txDone/arrive callbacks they make a packet's whole transit —
+	// serialisation completion plus propagation arrival — schedule on
+	// pooled event nodes with zero heap allocations.
+	txPkt    *packet.Packet
+	txTime   time.Duration
+	infl     []*packet.Packet
+	inflHead int
+	txDone   txDoneCallback
+	arrive   arriveCallback
+
 	// down marks the link administratively dead (dynamic LinkDown event).
 	down bool
 	// cut latches, at SetDown time, that the frame currently serialising
@@ -97,14 +110,34 @@ func newLink(n *Network, spec topo.Link) *Link {
 			cap = MinQueue
 		}
 	}
-	return &Link{
+	l := &Link{
 		net:      n,
 		Spec:     spec,
 		capBytes: cap,
 		aqm:      DropTail{},
 		Counters: LinkCounters{Drops: make(map[DropReason]uint64)},
 	}
+	l.txDone.l = l
+	l.arrive.l = l
+	return l
 }
+
+// txDoneCallback adapts serialisation completion to sim.Callback: one
+// frame serialises at a time, so the link itself carries the in-flight
+// frame and no closure is needed.
+type txDoneCallback struct{ l *Link }
+
+// Run implements sim.Callback.
+func (c *txDoneCallback) Run(now sim.Time) { c.l.finishTx(now) }
+
+// arriveCallback adapts propagation arrival to sim.Callback. Arrivals on
+// one link fire in transmit order (times are clamped monotone and the
+// loop breaks ties by scheduling sequence), so the link's in-flight FIFO
+// identifies the arriving frame without a per-event closure.
+type arriveCallback struct{ l *Link }
+
+// Run implements sim.Callback.
+func (c *arriveCallback) Run(sim.Time) { c.l.arrival() }
 
 // Name renders "v1->v2" for stats and drop reporting.
 func (l *Link) Name() string {
@@ -271,43 +304,64 @@ func (l *Link) startTx() {
 	l.transmitting = true
 	pkt := l.pop()
 	l.queuedBytes -= pkt.Size()
-	txTime := l.Spec.Rate.TxTime(pkt.Size())
-	l.net.Loop.Schedule(txTime, func() {
-		l.Counters.Busy += txTime
-		l.transmitting = false
-		if l.down || l.cut {
-			// The wire was cut mid-frame: the bits never arrive, even if
-			// the link already came back up.
-			l.cut = false
-			l.drop(pkt, DropLinkDown)
-			// A no-op while down; resumes any queue built up after an
-			// early SetUp.
-			l.startTx()
-			return
-		}
-		l.Counters.TxPackets++
-		l.Counters.TxBytes += uint64(pkt.Size())
-		l.net.tapTransmit(l, pkt)
-		// Propagate towards the far node while the transmitter moves on.
-		// Arrival is clamped to the latest in-flight arrival so a runtime
-		// delay cut cannot reorder frames (equal times keep FIFO by
-		// scheduling sequence).
-		arriveAt := l.net.Loop.Now().Add(l.Spec.Delay)
-		if arriveAt < l.lastArrivalAt {
-			arriveAt = l.lastArrivalAt
-		}
-		l.lastArrivalAt = arriveAt
-		l.net.propagating++
-		l.net.Loop.At(arriveAt, func() {
-			l.net.propagating--
-			l.net.tapArrive(l, pkt)
-			l.net.nodes[l.Spec.To].receive(pkt)
-		})
-		if l.queueLen() == 0 {
-			l.lastIdleAt = l.net.Loop.Now()
-		}
+	l.txPkt = pkt
+	l.txTime = l.Spec.Rate.TxTime(pkt.Size())
+	l.net.Loop.ScheduleCall(l.txTime, &l.txDone)
+}
+
+// finishTx runs when the last bit of the serialising frame leaves the
+// transmitter.
+func (l *Link) finishTx(now sim.Time) {
+	pkt := l.txPkt
+	l.txPkt = nil
+	l.Counters.Busy += l.txTime
+	l.transmitting = false
+	if l.down || l.cut {
+		// The wire was cut mid-frame: the bits never arrive, even if
+		// the link already came back up.
+		l.cut = false
+		l.drop(pkt, DropLinkDown)
+		// A no-op while down; resumes any queue built up after an
+		// early SetUp.
 		l.startTx()
-	})
+		return
+	}
+	l.Counters.TxPackets++
+	l.Counters.TxBytes += uint64(pkt.Size())
+	l.net.tapTransmit(l, pkt)
+	// Propagate towards the far node while the transmitter moves on.
+	// Arrival is clamped to the latest in-flight arrival so a runtime
+	// delay cut cannot reorder frames (equal times keep FIFO by
+	// scheduling sequence).
+	arriveAt := now.Add(l.Spec.Delay)
+	if arriveAt < l.lastArrivalAt {
+		arriveAt = l.lastArrivalAt
+	}
+	l.lastArrivalAt = arriveAt
+	l.net.propagating++
+	l.infl = append(l.infl, pkt)
+	l.net.Loop.AtCall(arriveAt, &l.arrive)
+	if l.queueLen() == 0 {
+		l.lastIdleAt = now
+	}
+	l.startTx()
+}
+
+// arrival runs when the in-flight FIFO's head frame reaches the far node.
+func (l *Link) arrival() {
+	pkt := l.infl[l.inflHead]
+	l.infl[l.inflHead] = nil
+	l.inflHead++
+	if l.inflHead == len(l.infl) {
+		l.infl = l.infl[:0]
+		l.inflHead = 0
+	} else if l.inflHead > 256 && l.inflHead*2 >= len(l.infl) {
+		l.infl = append(l.infl[:0], l.infl[l.inflHead:]...)
+		l.inflHead = 0
+	}
+	l.net.propagating--
+	l.net.tapArrive(l, pkt)
+	l.net.nodes[l.Spec.To].receive(pkt)
 }
 
 // RED is the classic Random Early Detection manager (Floyd & Jacobson

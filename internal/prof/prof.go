@@ -1,0 +1,57 @@
+// Package prof wires the standard pprof file profiles into the repo's
+// CLIs: one call starts an optional CPU profile, and the returned stop
+// function finishes it and writes an optional heap profile. Keeping the
+// plumbing here means every command (simcheck, sweep) exposes identical
+// -cpuprofile/-memprofile behaviour, and CI can archive hot-path profiles
+// of the exact harness binaries it gates.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling according to the two (possibly empty) paths.
+// With cpuPath set, CPU profiling runs until stop is called; with memPath
+// set, stop garbage-collects and writes the live-heap profile there. The
+// returned stop is never nil and is safe to call exactly once.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			// Up-to-date live-object accounting, as `go test -memprofile`
+			// does before its final write.
+			runtime.GC()
+			werr := pprof.Lookup("allocs").WriteTo(f, 0)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return fmt.Errorf("heap profile: %w", werr)
+			}
+		}
+		return nil
+	}, nil
+}

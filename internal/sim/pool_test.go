@@ -1,0 +1,337 @@
+package sim
+
+// Tests for the pooled event arena: generation-counter (ABA) safety of
+// recycled Timer handles, the 4-ary index heap against a container/heap
+// reference, and the zero-allocation guarantees of the fast path.
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// countCall is a minimal pre-bound callback for pool tests.
+type countCall struct{ n int }
+
+func (c *countCall) Run(Time) { c.n++ }
+
+// TestTimerRecycledNodeABA is the ABA case: a held Timer whose event
+// fired and whose node was immediately reused by an unrelated event must
+// not be able to stop or observe the new occupant.
+func TestTimerRecycledNodeABA(t *testing.T) {
+	l := NewLoop()
+	var stale Timer
+	var fresh Timer
+	ran := 0
+	stale = l.Schedule(time.Millisecond, func() {
+		// The node recycles the moment this callback starts; the next
+		// schedule reuses it.
+		fresh = l.Schedule(time.Millisecond, func() { ran++ })
+	})
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.id != stale.id {
+		t.Fatalf("test setup: expected node reuse, got node %d then %d", stale.id, fresh.id)
+	}
+	if fresh.gen == stale.gen {
+		t.Fatal("recycled node kept its generation; ABA guard is dead")
+	}
+	if ran != 1 {
+		t.Fatalf("second event ran %d times, want 1", ran)
+	}
+
+	// And with the reused event still pending: the stale handle must see
+	// nothing and stop nothing.
+	l2 := NewLoop()
+	heldRan := false
+	held := l2.Schedule(time.Millisecond, func() {})
+	if err := l2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	reuse := l2.Schedule(time.Millisecond, func() { heldRan = true })
+	if reuse.id != held.id {
+		t.Fatalf("test setup: expected node reuse, got node %d then %d", held.id, reuse.id)
+	}
+	if held.Pending() {
+		t.Fatal("stale handle claims the new occupant is its own event")
+	}
+	if held.Stop() {
+		t.Fatal("stale handle stopped the new occupant")
+	}
+	if held.When() != 0 {
+		t.Fatal("stale handle observed the new occupant's time")
+	}
+	if err := l2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !heldRan {
+		t.Fatal("new occupant did not run after a stale Stop attempt")
+	}
+}
+
+// TestTimerStopDuringOwnCallback: stopping an event from inside its own
+// callback is a no-op — the node was recycled before the callback began.
+func TestTimerStopDuringOwnCallback(t *testing.T) {
+	l := NewLoop()
+	var tm Timer
+	tm = l.Schedule(time.Millisecond, func() {
+		if tm.Stop() {
+			t.Error("Stop from inside the firing callback reported true")
+		}
+		if tm.Pending() {
+			t.Error("Pending from inside the firing callback reported true")
+		}
+	})
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTimerStopAfterLoopEnd: handles held past the end of the run are
+// stale, whatever recycling happened meanwhile.
+func TestTimerStopAfterLoopEnd(t *testing.T) {
+	l := NewLoop()
+	var timers []Timer
+	for i := 0; i < 8; i++ {
+		timers = append(timers, l.Schedule(time.Duration(i)*time.Millisecond, func() {}))
+	}
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, tm := range timers {
+		if tm.Stop() {
+			t.Fatalf("timer %d: Stop after loop end reported true", i)
+		}
+		if tm.Pending() {
+			t.Fatalf("timer %d: Pending after loop end reported true", i)
+		}
+	}
+}
+
+// TestTimerDoubleStopViaCopies: a Timer is a value; stopping through one
+// copy stales every other copy.
+func TestTimerDoubleStopViaCopies(t *testing.T) {
+	l := NewLoop()
+	a := l.Schedule(time.Millisecond, func() { t.Error("stopped event ran") })
+	b := a
+	if !a.Stop() {
+		t.Fatal("first Stop should report true")
+	}
+	if b.Stop() {
+		t.Fatal("Stop through a second copy should report false")
+	}
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroTimerInert: the zero value is safe to use.
+func TestZeroTimerInert(t *testing.T) {
+	var tm Timer
+	if tm.Stop() || tm.Pending() || tm.When() != 0 {
+		t.Fatal("zero Timer is not inert")
+	}
+}
+
+// refEvent / refQueue are a container/heap reference implementation with
+// the kernel's exact ordering contract, for the differential heap test.
+type refEvent struct {
+	at  Time
+	seq uint64
+	pos int
+}
+
+type refQueue []*refEvent
+
+func (q refQueue) Len() int { return len(q) }
+func (q refQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q refQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].pos = i
+	q[j].pos = j
+}
+func (q *refQueue) Push(x any) {
+	e := x.(*refEvent)
+	e.pos = len(*q)
+	*q = append(*q, e)
+}
+func (q *refQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.pos = -1
+	*q = old[:n-1]
+	return e
+}
+
+// TestQuickHeapMatchesReference drives the pooled 4-ary heap and a
+// container/heap reference with the same random (at, seq) stream,
+// interleaving pushes, removals of random live entries and pops. The pop
+// order must match the reference exactly at every step.
+func TestQuickHeapMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		l := NewLoop()
+		ref := &refQueue{}
+		nop := func() {}
+
+		// live maps a kernel Timer to its reference twin.
+		type pair struct {
+			tm Timer
+			re *refEvent
+		}
+		var live []pair
+
+		popBoth := func() {
+			id := l.popMin()
+			got := l.nodes[id]
+			want := heap.Pop(ref).(*refEvent)
+			if got.at != want.at || got.seq != want.seq {
+				t.Fatalf("seed %d: pop (at=%d seq=%d), reference (at=%d seq=%d)",
+					seed, got.at, got.seq, want.at, want.seq)
+			}
+			l.release(id)
+			for i := range live {
+				if live[i].re == want {
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+					break
+				}
+			}
+		}
+
+		for op := 0; op < 4000; op++ {
+			switch r := rng.Intn(10); {
+			case r < 5: // push
+				at := Time(rng.Intn(1000))
+				seq := l.seq // alloc consumes this seq
+				tm := l.At(at, nop)
+				re := &refEvent{at: l.nodes[tm.id].at, seq: seq}
+				heap.Push(ref, re)
+				live = append(live, pair{tm, re})
+			case r < 7 && len(live) > 0: // remove a random live entry
+				i := rng.Intn(len(live))
+				p := live[i]
+				if !p.tm.Stop() {
+					t.Fatalf("seed %d: Stop on a live entry reported false", seed)
+				}
+				heap.Remove(ref, p.re.pos)
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			case len(live) > 0: // pop the minimum from both
+				popBoth()
+			}
+			if l.Len() != ref.Len() {
+				t.Fatalf("seed %d: sizes diverged: %d vs %d", seed, l.Len(), ref.Len())
+			}
+		}
+		// Drain: the full remaining pop order must match.
+		for ref.Len() > 0 {
+			popBoth()
+		}
+		if l.Len() != 0 {
+			t.Fatalf("seed %d: kernel heap has %d leftovers", seed, l.Len())
+		}
+	}
+}
+
+// TestPoolRecyclesNodes: the arena must stop growing once the pending set
+// stops growing — scheduling N sequential events reuses a bounded pool.
+func TestPoolRecyclesNodes(t *testing.T) {
+	l := NewLoop()
+	cb := &countCall{}
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < 10000 {
+			l.Schedule(time.Microsecond, tick)
+			l.ScheduleCall(time.Microsecond, cb)
+		}
+	}
+	l.Schedule(0, tick)
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.nodes) > 8 {
+		t.Fatalf("arena grew to %d nodes for a ~2-pending workload", len(l.nodes))
+	}
+	if cb.n != 9999 {
+		t.Fatalf("callback ran %d times, want 9999", cb.n)
+	}
+}
+
+// TestScheduleCallZeroAllocSteadyState is the allocation gate for the
+// tentpole: once the arena is warm, scheduling and firing pre-bound
+// callbacks allocates nothing.
+func TestScheduleCallZeroAllocSteadyState(t *testing.T) {
+	l := NewLoop()
+	cb := &countCall{}
+	// Warm the arena and the heap/free slices well past the test's
+	// working set.
+	var warm []Timer
+	for i := 0; i < 64; i++ {
+		warm = append(warm, l.ScheduleCall(time.Duration(i)*time.Microsecond, cb))
+	}
+	for _, tm := range warm {
+		tm.Stop()
+	}
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.ScheduleCall(time.Microsecond, cb)
+		if err := l.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ScheduleCall+Run allocates %.1f objects per event, want 0", allocs)
+	}
+}
+
+// TestTimerResetZeroAlloc is the timer-reset gate: the arm/stop/re-arm
+// cycle every TCP ACK performs must not allocate.
+func TestTimerResetZeroAlloc(t *testing.T) {
+	l := NewLoop()
+	cb := &countCall{}
+	tm := l.ScheduleCall(time.Second, cb)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm.Stop()
+		tm = l.ScheduleCall(time.Second, cb)
+	})
+	if allocs != 0 {
+		t.Fatalf("timer reset allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestScheduleFuncZeroAllocNonCapturing: even the classic func() form is
+// allocation-free for non-capturing closures (the compiler makes them
+// static); only capturing closures pay.
+func TestScheduleFuncZeroAllocNonCapturing(t *testing.T) {
+	l := NewLoop()
+	for i := 0; i < 8; i++ {
+		l.Schedule(time.Microsecond, func() {})
+	}
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.Schedule(time.Microsecond, func() {})
+		if err := l.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("static func() schedule allocates %.1f objects, want 0", allocs)
+	}
+}

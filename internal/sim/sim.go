@@ -7,10 +7,16 @@
 // locking is needed and identical seeds reproduce identical executions
 // byte-for-byte. Harness code that wants parallelism runs one Loop per
 // scenario in separate goroutines.
+//
+// The scheduling path is allocation-free in steady state: event nodes live
+// in a pooled arena recycled through a free list, the pending queue is a
+// concrete 4-ary index heap (no container/heap interface boxing), and the
+// Callback interface lets hot callers schedule pre-bound callback structs
+// instead of capturing closures. Timer handles are values carrying a
+// generation counter, so a stale handle to a recycled node is a safe no-op.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -50,84 +56,92 @@ func (t Time) String() string {
 	return time.Duration(t).String()
 }
 
-// event is a scheduled callback. Events compare by (at, seq) so that events
+// Callback is the allocation-free alternative to a func() event: model
+// code embeds a small struct pre-bound to its receiver and passes a
+// pointer to it, so scheduling boxes no closure and allocates nothing.
+// Run is invoked with the loop's current virtual time.
+type Callback interface {
+	Run(now Time)
+}
+
+// node is one pooled event. Nodes compare by (at, seq) so that events
 // scheduled earlier at the same instant run first, which makes runs
-// deterministic regardless of heap internals.
-type event struct {
-	at      Time
-	seq     uint64
-	fn      func()
-	index   int // position in the heap, -1 once popped or cancelled
-	stopped bool
+// deterministic regardless of heap internals. A node is recycled through
+// the free list the moment it fires or is stopped; gen increments on every
+// recycle so stale Timer handles cannot touch the next occupant (the
+// classic ABA guard).
+type node struct {
+	at  Time
+	seq uint64
+	fn  func()
+	cb  Callback
+	gen uint32
+	// pos is the node's index in the heap array, -1 once popped, stopped
+	// or free.
+	pos int32
 }
 
-// eventQueue implements container/heap over pending events.
-type eventQueue []*event
+// noPos marks a node that is not in the pending heap.
+const noPos = -1
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
-}
-
-// Timer is a handle to a scheduled event. The zero value is not useful;
-// timers are created by Loop.Schedule and Loop.At.
+// Timer is a cancellable handle to a scheduled event. It is a small value
+// (not a pointer): creating one allocates nothing, and the zero value is
+// inert — Stop and Pending on it report false. A Timer holds the node's
+// generation at scheduling time, so once the event fires or is stopped the
+// handle goes stale and every operation through it is a safe no-op, even
+// after the node has been recycled for an unrelated event.
 type Timer struct {
 	loop *Loop
-	ev   *event
+	id   int32
+	gen  uint32
 }
 
-// Stop cancels the timer. It reports whether the callback was still pending;
-// it returns false if the callback already ran or the timer was stopped.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.stopped || t.ev.index < 0 {
+// live reports whether the handle still names the scheduled event: the
+// generation must match (the node was not recycled) and the node must be
+// in the pending heap.
+func (t Timer) live() bool {
+	if t.loop == nil {
 		return false
 	}
-	t.ev.stopped = true
-	heap.Remove(&t.loop.queue, t.ev.index)
+	n := &t.loop.nodes[t.id]
+	return n.gen == t.gen && n.pos != noPos
+}
+
+// Stop cancels the timer. It reports whether the callback was still
+// pending; it returns false if the callback already ran, the timer was
+// stopped, or the handle is the zero value.
+func (t Timer) Stop() bool {
+	if !t.live() {
+		return false
+	}
+	t.loop.remove(t.id)
+	t.loop.release(t.id)
 	return true
 }
 
 // Pending reports whether the timer's callback has not yet fired or been
 // stopped.
-func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.stopped && t.ev.index >= 0
-}
+func (t Timer) Pending() bool { return t.live() }
 
-// When returns the virtual time the timer is scheduled to fire at.
-func (t *Timer) When() Time { return t.ev.at }
+// When returns the virtual time the timer is scheduled to fire at, or 0
+// if the handle is stale.
+func (t Timer) When() Time {
+	if !t.live() {
+		return 0
+	}
+	return t.loop.nodes[t.id].at
+}
 
 // Loop is a discrete-event loop. The zero value is not ready for use; call
 // NewLoop.
 type Loop struct {
-	now     Time
-	seq     uint64
-	queue   eventQueue
+	now Time
+	seq uint64
+	// nodes is the pooled event arena; free lists the recycled indices.
+	nodes []node
+	free  []int32
+	// heap is a 4-ary min-heap of node indices ordered by (at, seq).
+	heap    []int32
 	running bool
 	stopped bool
 
@@ -155,9 +169,143 @@ func (l *Loop) SetEventLimit(n uint64) { l.limit = n }
 // ErrEventLimit is returned by Run when the configured event limit is hit.
 var ErrEventLimit = errors.New("sim: event limit exceeded")
 
+// alloc takes a node from the free list (or grows the arena) and fills it.
+// Growth only happens while the simulation is still widening its event
+// horizon; once the arena matches the peak number of concurrently pending
+// events, scheduling never allocates again.
+func (l *Loop) alloc(at Time, fn func(), cb Callback) int32 {
+	var id int32
+	if n := len(l.free); n > 0 {
+		id = l.free[n-1]
+		l.free = l.free[:n-1]
+	} else {
+		l.nodes = append(l.nodes, node{})
+		id = int32(len(l.nodes) - 1)
+	}
+	nd := &l.nodes[id]
+	nd.at = at
+	nd.seq = l.seq
+	nd.fn = fn
+	nd.cb = cb
+	l.seq++
+	return id
+}
+
+// release recycles a node: the generation bump invalidates every handle to
+// the old occupant, and clearing the callbacks drops their references.
+func (l *Loop) release(id int32) {
+	nd := &l.nodes[id]
+	nd.gen++
+	nd.fn = nil
+	nd.cb = nil
+	nd.pos = noPos
+	l.free = append(l.free, id)
+}
+
+// less orders nodes by (at, seq).
+func (l *Loop) less(a, b int32) bool {
+	na, nb := &l.nodes[a], &l.nodes[b]
+	if na.at != nb.at {
+		return na.at < nb.at
+	}
+	return na.seq < nb.seq
+}
+
+// push inserts a node id into the heap.
+func (l *Loop) push(id int32) {
+	l.heap = append(l.heap, id)
+	pos := int32(len(l.heap) - 1)
+	l.nodes[id].pos = pos
+	l.up(pos)
+}
+
+// popMin removes and returns the heap's minimum node id.
+func (l *Loop) popMin() int32 {
+	id := l.heap[0]
+	l.nodes[id].pos = noPos
+	last := len(l.heap) - 1
+	if last > 0 {
+		moved := l.heap[last]
+		l.heap[0] = moved
+		l.nodes[moved].pos = 0
+	}
+	l.heap = l.heap[:last]
+	if last > 1 {
+		l.down(0)
+	}
+	return id
+}
+
+// remove deletes the node at an arbitrary heap position.
+func (l *Loop) remove(id int32) {
+	pos := l.nodes[id].pos
+	l.nodes[id].pos = noPos
+	last := int32(len(l.heap) - 1)
+	if pos != last {
+		moved := l.heap[last]
+		l.heap[pos] = moved
+		l.nodes[moved].pos = pos
+		l.heap = l.heap[:last]
+		// The moved node may order either way relative to the hole.
+		l.down(pos)
+		l.up(l.nodes[moved].pos)
+	} else {
+		l.heap = l.heap[:last]
+	}
+}
+
+// up restores the heap property from pos towards the root. The heap is
+// 4-ary: shallower than a binary heap (fewer cache lines touched per
+// operation on the large queues link serialisation builds), with the
+// wider sibling scan staying inside one cache line of int32 ids.
+func (l *Loop) up(pos int32) {
+	id := l.heap[pos]
+	for pos > 0 {
+		parent := (pos - 1) / 4
+		if !l.less(id, l.heap[parent]) {
+			break
+		}
+		l.heap[pos] = l.heap[parent]
+		l.nodes[l.heap[pos]].pos = pos
+		pos = parent
+	}
+	l.heap[pos] = id
+	l.nodes[id].pos = pos
+}
+
+// down restores the heap property from pos towards the leaves.
+func (l *Loop) down(pos int32) {
+	id := l.heap[pos]
+	n := int32(len(l.heap))
+	for {
+		first := 4*pos + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if l.less(l.heap[c], l.heap[best]) {
+				best = c
+			}
+		}
+		if !l.less(l.heap[best], id) {
+			break
+		}
+		l.heap[pos] = l.heap[best]
+		l.nodes[l.heap[pos]].pos = pos
+		pos = best
+	}
+	l.heap[pos] = id
+	l.nodes[id].pos = pos
+}
+
 // Schedule runs fn after delay d of virtual time. A non-positive delay runs
 // fn as soon as the loop regains control, still in deterministic order.
-func (l *Loop) Schedule(d time.Duration, fn func()) *Timer {
+func (l *Loop) Schedule(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -166,24 +314,45 @@ func (l *Loop) Schedule(d time.Duration, fn func()) *Timer {
 
 // At runs fn at absolute virtual time t. Times in the past are clamped to
 // the current instant.
-func (l *Loop) At(t Time, fn func()) *Timer {
+func (l *Loop) At(t Time, fn func()) Timer {
 	if fn == nil {
 		panic("sim: At called with nil callback")
 	}
+	return l.schedule(t, fn, nil)
+}
+
+// ScheduleCall runs cb.Run after delay d of virtual time. Unlike Schedule
+// it takes a pre-bound Callback, so a caller that embeds its callback
+// struct allocates nothing per event.
+func (l *Loop) ScheduleCall(d time.Duration, cb Callback) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return l.AtCall(l.now.Add(d), cb)
+}
+
+// AtCall runs cb.Run at absolute virtual time t, clamped like At.
+func (l *Loop) AtCall(t Time, cb Callback) Timer {
+	if cb == nil {
+		panic("sim: AtCall called with nil callback")
+	}
+	return l.schedule(t, nil, cb)
+}
+
+func (l *Loop) schedule(t Time, fn func(), cb Callback) Timer {
 	if t < l.now {
 		t = l.now
 	}
-	ev := &event{at: t, seq: l.seq, fn: fn}
-	l.seq++
-	heap.Push(&l.queue, ev)
-	return &Timer{loop: l, ev: ev}
+	id := l.alloc(t, fn, cb)
+	l.push(id)
+	return Timer{loop: l, id: id, gen: l.nodes[id].gen}
 }
 
 // Stop makes Run return after the currently executing event completes.
 func (l *Loop) Stop() { l.stopped = true }
 
 // Len returns the number of pending events.
-func (l *Loop) Len() int { return l.queue.Len() }
+func (l *Loop) Len() int { return len(l.heap) }
 
 // Run executes events in order until the queue drains, Stop is called, or
 // the event limit is exceeded.
@@ -200,23 +369,27 @@ func (l *Loop) RunUntil(deadline Time) error {
 	l.stopped = false
 	defer func() { l.running = false }()
 
-	for l.queue.Len() > 0 && !l.stopped {
-		next := l.queue[0]
-		if next.at > deadline {
+	for len(l.heap) > 0 && !l.stopped {
+		head := &l.nodes[l.heap[0]]
+		if head.at > deadline {
 			l.now = deadline
 			return nil
 		}
-		heap.Pop(&l.queue)
-		if next.stopped {
-			continue
-		}
-		if next.at < l.now {
+		if head.at < l.now {
 			// Heap invariant violated; this is a kernel bug, not a model bug.
-			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", l.now, next.at))
+			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", l.now, head.at))
 		}
-		l.now = next.at
-		next.stopped = true
-		next.fn()
+		l.now = head.at
+		fn, cb := head.fn, head.cb
+		// Recycle before running: a Stop on this event's own handle from
+		// inside the callback (or any later turn) sees a stale generation
+		// and no-ops, even if the node is immediately reused.
+		l.release(l.popMin())
+		if cb != nil {
+			cb.Run(l.now)
+		} else {
+			fn()
+		}
 		l.processed++
 		if l.limit > 0 && l.processed >= l.limit {
 			return fmt.Errorf("%w (%d events)", ErrEventLimit, l.processed)

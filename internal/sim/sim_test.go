@@ -84,8 +84,7 @@ func TestTimerStop(t *testing.T) {
 
 func TestTimerStopAfterFire(t *testing.T) {
 	l := NewLoop()
-	var tm *Timer
-	tm = l.Schedule(time.Millisecond, func() {})
+	tm := l.Schedule(time.Millisecond, func() {})
 	if err := l.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +100,7 @@ func TestStopInterleavedWithHeap(t *testing.T) {
 	// Cancel a timer in the middle of the heap and check the rest still run.
 	l := NewLoop()
 	var got []int
-	var timers []*Timer
+	var timers []Timer
 	for i := 0; i < 5; i++ {
 		i := i
 		timers = append(timers, l.Schedule(time.Duration(i+1)*time.Millisecond, func() { got = append(got, i) }))

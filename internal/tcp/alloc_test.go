@@ -1,0 +1,36 @@
+package tcp
+
+// Allocation gate for the TCP timer path: the RTO re-arm every ACK
+// performs (stop + schedule of the pre-bound callback) must not allocate
+// once the loop arena is warm.
+
+import (
+	"testing"
+	"time"
+
+	"mptcpsim/internal/sim"
+)
+
+func TestArmRTOZeroAlloc(t *testing.T) {
+	c := &Conn{loop: sim.NewLoop()}
+	c.rtoCall.c = c
+	c.delAckCall.c = c
+	c.armRTO(time.Second) // warm the arena
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.armRTO(time.Second)
+	})
+	if allocs != 0 {
+		t.Fatalf("RTO re-arm allocates %.1f objects, want 0", allocs)
+	}
+	c.stopRTO()
+
+	// The delayed-ACK arm is the same pattern on the receive side.
+	c.delAckTimer = c.loop.ScheduleCall(time.Second, &c.delAckCall)
+	allocs = testing.AllocsPerRun(1000, func() {
+		c.delAckTimer.Stop()
+		c.delAckTimer = c.loop.ScheduleCall(time.Second, &c.delAckCall)
+	})
+	if allocs != 0 {
+		t.Fatalf("delayed-ACK re-arm allocates %.1f objects, want 0", allocs)
+	}
+}

@@ -108,7 +108,7 @@ type Conn struct {
 	peerTSval  uint32
 	peerTSseen bool
 	rtt        rttEstimator
-	rtoTimer   *sim.Timer
+	rtoTimer   sim.Timer
 	backoff    uint
 	synSent    int
 	synTime    sim.Time
@@ -119,7 +119,13 @@ type Conn struct {
 	oooBytes    int
 	lastOOOSeq  uint32
 	ackPending  int
-	delAckTimer *sim.Timer
+	delAckTimer sim.Timer
+
+	// rtoCall and delAckCall are the pre-bound timer callbacks: arming a
+	// timer passes a pointer to these fields, so the per-packet timer
+	// churn (every ACK re-arms the RTO) schedules without allocating.
+	rtoCall    rtoCallback
+	delAckCall delAckCallback
 
 	// Stats accumulates counters.
 	Stats Stats
@@ -143,8 +149,23 @@ func newConn(h *Host, cfg Config, local, remote packet.Endpoint) *Conn {
 	}
 	c.Flow.MSS = cfg.MSS
 	c.Flow.ID = cfg.FlowID
+	c.rtoCall.c = c
+	c.delAckCall.c = c
 	return c
 }
+
+// rtoCallback adapts the retransmission timeout to sim.Callback without a
+// per-arm closure.
+type rtoCallback struct{ c *Conn }
+
+// Run implements sim.Callback.
+func (r *rtoCallback) Run(sim.Time) { r.c.onRTO() }
+
+// delAckCallback adapts the delayed-ACK timeout to sim.Callback.
+type delAckCallback struct{ c *Conn }
+
+// Run implements sim.Callback.
+func (d *delAckCallback) Run(sim.Time) { d.c.onDelAck() }
 
 // State returns the connection state.
 func (c *Conn) State() State { return c.state }
@@ -259,9 +280,7 @@ func (c *Conn) Close() {
 		c.cfg.CC.Unregister(&c.Flow)
 	}
 	c.stopRTO()
-	if c.delAckTimer != nil {
-		c.delAckTimer.Stop()
-	}
+	c.delAckTimer.Stop()
 	delete(c.host.conns, connKey{c.local.Port, c.remote.Addr, c.remote.Port})
 }
 

@@ -49,13 +49,16 @@ func (c *Conn) processData(pkt *packet.Packet) {
 			c.sendPureAck()
 		} else if c.ackPending >= c.cfg.DelAckCount {
 			c.sendPureAck()
-		} else if c.delAckTimer == nil || !c.delAckTimer.Pending() {
-			c.delAckTimer = c.loop.Schedule(c.cfg.DelAckTimeout, func() {
-				if c.ackPending > 0 {
-					c.sendPureAck()
-				}
-			})
+		} else if !c.delAckTimer.Pending() {
+			c.delAckTimer = c.loop.ScheduleCall(c.cfg.DelAckTimeout, &c.delAckCall)
 		}
+	}
+}
+
+// onDelAck fires when the delayed-ACK timer expires.
+func (c *Conn) onDelAck() {
+	if c.ackPending > 0 {
+		c.sendPureAck()
 	}
 }
 
@@ -103,9 +106,7 @@ func (c *Conn) drainOOO() {
 // ACK) carrying the connection-level data ACK when a Sink provides one.
 func (c *Conn) sendPureAck() {
 	c.ackPending = 0
-	if c.delAckTimer != nil {
-		c.delAckTimer.Stop()
-	}
+	c.delAckTimer.Stop()
 	t := &packet.TCP{
 		SrcPort: c.local.Port,
 		DstPort: c.remote.Port,

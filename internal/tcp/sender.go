@@ -86,7 +86,7 @@ func (c *Conn) trySend() {
 			c.timedEnd = c.sndNxt
 			c.timedAt = c.loop.Now()
 		}
-		if c.rtoTimer == nil || !c.rtoTimer.Pending() {
+		if !c.rtoTimer.Pending() {
 			c.armRTO(c.rtt.RTO())
 		}
 	}
@@ -386,19 +386,15 @@ func (c *Conn) retransmitFront() {
 	c.sendData(s.seq, s.length, s.dss, true)
 }
 
-// armRTO (re)starts the retransmission timer.
+// armRTO (re)starts the retransmission timer. The reset is allocation-free:
+// the pre-bound callback struct is scheduled on a pooled event node.
 func (c *Conn) armRTO(d time.Duration) {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-	}
-	c.rtoTimer = c.loop.Schedule(d, c.onRTO)
+	c.rtoTimer.Stop()
+	c.rtoTimer = c.loop.ScheduleCall(d, &c.rtoCall)
 }
 
 func (c *Conn) stopRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-		c.rtoTimer = nil
-	}
+	c.rtoTimer.Stop()
 }
 
 // onRTO fires on retransmission timeout.

@@ -58,11 +58,14 @@ type OnOff struct {
 	loop *sim.Loop
 	rng  *sim.Rand
 	on   bool
+	flip onOffFlip
 }
 
 // NewOnOff creates an on/off source driven by the loop.
 func NewOnOff(loop *sim.Loop, rng *sim.Rand, onMean, offMean time.Duration) *OnOff {
-	return &OnOff{OnMean: onMean, OffMean: offMean, loop: loop, rng: rng}
+	o := &OnOff{OnMean: onMean, OffMean: offMean, loop: loop, rng: rng}
+	o.flip.o = o
+	return o
 }
 
 // Start begins with an on-period.
@@ -78,13 +81,21 @@ func (o *OnOff) schedule() {
 	} else {
 		d = o.rng.Exp(o.OffMean)
 	}
-	o.loop.Schedule(d, func() {
-		o.on = !o.on
-		if o.on && o.Kick != nil {
-			o.Kick()
-		}
-		o.schedule()
-	})
+	o.loop.ScheduleCall(d, &o.flip)
+}
+
+// onOffFlip is the pre-bound period-boundary callback, so the endless
+// on/off alternation schedules without allocating.
+type onOffFlip struct{ o *OnOff }
+
+// Run implements sim.Callback.
+func (f *onOffFlip) Run(sim.Time) {
+	o := f.o
+	o.on = !o.on
+	if o.on && o.Kick != nil {
+		o.Kick()
+	}
+	o.schedule()
 }
 
 // On reports whether the source is currently sending.
@@ -104,13 +115,14 @@ type CBR struct {
 	// Sent counts packets emitted.
 	Sent uint64
 
-	net     *netem.Network
-	node    topo.NodeID
-	dst     packet.Addr
-	tag     packet.Tag
-	payload int
-	period  time.Duration
-	stopped bool
+	net      *netem.Network
+	node     topo.NodeID
+	dst      packet.Addr
+	tag      packet.Tag
+	payload  int
+	period   time.Duration
+	stopped  bool
+	tickCall cbrTick
 }
 
 // NewCBR creates a generator sending payload-byte datagrams so that the
@@ -118,8 +130,17 @@ type CBR struct {
 func NewCBR(n *netem.Network, node topo.NodeID, dst packet.Addr, tag packet.Tag, rateMbps float64, payload int) *CBR {
 	wire := payload + packet.IPv4HeaderLen + packet.UDPHeaderLen
 	period := time.Duration(float64(wire*8) / (rateMbps * 1e6) * float64(time.Second))
-	return &CBR{net: n, node: node, dst: dst, tag: tag, payload: payload, period: period}
+	c := &CBR{net: n, node: node, dst: dst, tag: tag, payload: payload, period: period}
+	c.tickCall.c = c
+	return c
 }
+
+// cbrTick is the pre-bound per-packet callback: the generator's steady
+// emission schedules on pooled nodes without closures.
+type cbrTick struct{ c *CBR }
+
+// Run implements sim.Callback.
+func (t *cbrTick) Run(sim.Time) { t.c.tick() }
 
 // Start begins emission.
 func (c *CBR) Start() {
@@ -140,5 +161,5 @@ func (c *CBR) tick() {
 		PayloadLen: c.payload,
 	})
 	c.Sent++
-	c.net.Loop.Schedule(c.period, c.tick)
+	c.net.Loop.ScheduleCall(c.period, &c.tickCall)
 }
