@@ -1,8 +1,11 @@
-// Command simcheck is the randomized correctness harness: it generates N
-// pseudo-random scenarios (seeded topologies with overlapping paths,
-// congestion-control/scheduler/ordering draws, and valid dynamic-event
-// timelines), runs each one twice with the invariant oracle attached, and
-// asserts on every run:
+// Command simcheck is the randomized correctness harness. It has two
+// modes sharing one generator, one worker pool and one determinism
+// contract (reports are byte-identical across reruns and -workers).
+//
+// The plain mode generates N pseudo-random scenarios (seeded topologies
+// with overlapping paths, congestion-control/scheduler/ordering draws,
+// and valid dynamic-event timelines), runs each one twice with the
+// invariant oracle attached, and asserts on every run:
 //
 //   - packet conservation per link, per flow and network-wide (including
 //     link_down queue drains and frames cut mid-serialisation);
@@ -12,24 +15,38 @@
 //   - replay determinism: both runs must produce an identical canonical
 //     Result hash.
 //
-// The report is deterministic: identical bytes for a given (-n, -seed)
-// across reruns and across -workers values, so CI can diff two
-// invocations. Exit status is non-zero if any scenario fails.
-//
 // A golden hash corpus locks the whole pipeline across performance work:
 // -write-golden records every scenario's full canonical hash, -golden
 // replays a recorded corpus and fails on any byte that moved.
 //
+// The trend mode (-trend) is the metamorphic oracle on top: exact
+// invariants and replay hashes cannot tell a plausible simulator from a
+// correct one (a deterministic bug is deterministically wrong), but
+// qualitative trends can. For each of L ladders it derives K monotone
+// perturbations of one knob on one link of one active path (loss up,
+// delay up, capacity down, capacity up), runs every rung under the full
+// plain-mode contract, and asserts direction-of-change properties within
+// a noise tolerance: goodput monotone non-increasing on degrading
+// ladders (non-decreasing on capacity-up), optimality gap non-widening
+// against each rung's own LP baseline on capacity-down, and no load
+// shift onto a degrading path for coupled congestion controllers.
+//
 //	simcheck -n 200 -seed 1
-//	simcheck -n 50 -seed 7 -workers 4 -q
 //	simcheck -n 200 -seed 1 -golden internal/check/testdata/hashes-seed1.golden
+//	simcheck -trend -ladders 24 -steps 4 -seed 1
+//
+// Exit codes are distinct per failure class (see -h): 1 scenario/run or
+// invariant failure, 2 usage or file I/O error, 3 determinism failure
+// (replay-hash or golden-corpus divergence), 4 trend violation.
 package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -40,14 +57,50 @@ import (
 	"mptcpsim/internal/prof"
 )
 
+// Exit codes, one per failure class, so CI and scripts can tell what
+// kind of wrongness a red run found without parsing the report. When
+// failures of several classes occur in one invocation, the lowest code
+// wins (the more fundamental failure).
+const (
+	exitOK    = 0
+	exitFail  = 1 // scenario build/run error or invariant violation
+	exitUsage = 2 // flag usage or file I/O error
+	exitHash  = 3 // replay-hash mismatch or golden-corpus divergence
+	exitTrend = 4 // metamorphic trend violation
+)
+
+const exitCodeDoc = `
+Exit codes:
+  0  success
+  1  a scenario failed: build/run error or invariant violation
+  2  usage or file I/O error
+  3  determinism failure: replay-hash mismatch or golden-corpus divergence
+  4  metamorphic trend violation (-trend)
+When failures of several classes occur, the lowest code wins.
+`
+
 // runEventLimit aborts any single run after this many simulation events —
 // a runaway guard so one pathological draw fails fast instead of wedging
 // the harness.
 const runEventLimit = 100_000_000
 
-// outcome is one scenario's verdict.
+// failKind classifies a scenario or rung failure into its exit class.
+type failKind int
+
+const (
+	kindOK   failKind = iota
+	kindRun           // build/run error or invariant violation -> exitFail
+	kindHash          // replay-hash divergence -> exitHash
+)
+
+// tally counts failures per class across a whole mode.
+type tally struct{ run, hash int }
+
+func (t tally) failed() int { return t.run + t.hash }
+
+// outcome is one plain-mode scenario's verdict.
 type outcome struct {
-	ok   bool
+	kind failKind
 	line string
 	// hash is the full canonical Result hash of a passing scenario (the
 	// report line truncates it for readability; golden corpora need every
@@ -55,15 +108,10 @@ type outcome struct {
 	hash string
 }
 
-// checkSpec runs one generated spec twice — once under the oracle, once
-// plain — and verdicts it: build + run errors, invariant violations, and
-// replay-hash divergence all fail.
-func checkSpec(i int, base int64) outcome {
-	sp := check.NewSpec(check.SpecSeed(base, i))
-	fail := func(format string, args ...any) outcome {
-		return outcome{line: fmt.Sprintf("%4d FAIL seed=%-19d %s: %s",
-			i, sp.Seed, sp.Name, fmt.Sprintf(format, args...))}
-	}
+// runTwice executes one spec under the full contract — once with the
+// invariant oracle attached, once plain — and returns the validated
+// result and its canonical hash, or the failure class and its message.
+func runTwice(sp check.Spec) (*mptcpsim.Result, string, failKind, string) {
 	opts := mptcpsim.Options{
 		CC: sp.CC, Scheduler: sp.Scheduler, SubflowPaths: sp.Order,
 		Seed: sp.RunSeed, Duration: sp.Duration, QueueScale: sp.QueueScale,
@@ -80,36 +128,52 @@ func checkSpec(i int, base int64) outcome {
 	}
 	checked, err := run(true)
 	if err != nil {
-		return fail("%v", err)
+		return nil, "", kindRun, err.Error()
 	}
 	if len(checked.Invariants) > 0 {
-		return fail("invariants: %s", strings.Join(checked.Invariants, "; "))
+		return nil, "", kindRun, "invariants: " + strings.Join(checked.Invariants, "; ")
 	}
 	replay, err := run(false)
 	if err != nil {
-		return fail("replay: %v", err)
+		return nil, "", kindRun, fmt.Sprintf("replay: %v", err)
 	}
 	h := checked.Hash()
 	if rh := replay.Hash(); rh != h {
-		return fail("replay hash %.12s != %.12s (non-deterministic run)", rh, h)
+		return nil, "", kindHash,
+			fmt.Sprintf("replay hash %.12s != %.12s (non-deterministic run)", rh, h)
 	}
-	return outcome{ok: true, hash: h, line: fmt.Sprintf("%4d ok   seed=%-19d hash=%.12s %s",
+	return checked, h, kindOK, ""
+}
+
+// checkSpec runs one generated spec under the full contract and verdicts
+// it as a plain-mode report line.
+func checkSpec(i int, base int64) outcome {
+	sp := check.NewSpec(check.SpecSeed(base, i))
+	_, h, kind, msg := runTwice(sp)
+	if kind != kindOK {
+		return outcome{kind: kind, line: fmt.Sprintf("%4d FAIL seed=%-19d %s: %s",
+			i, sp.Seed, sp.Name, msg)}
+	}
+	return outcome{hash: h, line: fmt.Sprintf("%4d ok   seed=%-19d hash=%.12s %s",
 		i, sp.Seed, h, sp.Name)}
 }
 
-// runCheck executes n scenarios across a worker pool and writes the
-// deterministic report to w. It returns the number of failed scenarios
-// and every scenario's full hash ("" where the scenario failed). The
-// report contains no wall-clock or worker-count data, so its bytes are
-// identical for a given (n, seed) whatever the pool size.
-func runCheck(n int, seed int64, workers int, quiet bool, w io.Writer) (int, []string) {
+// checkSpecFn is the plain-mode scenario runner; a test seam so failure
+// paths (refused golden recording, per-class exit codes) can be driven
+// without a genuinely broken simulator.
+var checkSpecFn = checkSpec
+
+// forEach fans fn(i) for i in [0,n) across a worker pool. Callers write
+// results into index-addressed slots, so their output stays
+// deterministic whatever the pool size — the seam the plain and trend
+// modes share.
+func forEach(n, workers int, fn func(int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
-	results := make([]outcome, n)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -117,7 +181,7 @@ func runCheck(n int, seed int64, workers int, quiet bool, w io.Writer) (int, []s
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = checkSpec(i, seed)
+				fn(i)
 			}
 		}()
 	}
@@ -126,25 +190,132 @@ func runCheck(n int, seed int64, workers int, quiet bool, w io.Writer) (int, []s
 	}
 	close(jobs)
 	wg.Wait()
+}
+
+// runCheck executes n scenarios across the worker pool and writes the
+// deterministic report to w. It returns the per-class failure tally and
+// every scenario's full hash ("" where the scenario failed). The report
+// contains no wall-clock or worker-count data, so its bytes are
+// identical for a given (n, seed) whatever the pool size.
+func runCheck(n int, seed int64, workers int, quiet bool, w io.Writer) (tally, []string) {
+	results := make([]outcome, n)
+	forEach(n, workers, func(i int) { results[i] = checkSpecFn(i, seed) })
 
 	fmt.Fprintf(w, "simcheck: %d scenarios, base seed %d\n", n, seed)
-	failed := 0
+	var t tally
 	hashes := make([]string, n)
 	for i, r := range results {
-		if !r.ok {
-			failed++
+		switch r.kind {
+		case kindRun:
+			t.run++
+		case kindHash:
+			t.hash++
 		}
 		hashes[i] = r.hash
-		if !quiet || !r.ok {
+		if !quiet || r.kind != kindOK {
 			fmt.Fprintln(w, r.line)
 		}
 	}
-	fmt.Fprintf(w, "simcheck: %d/%d scenarios passed", n-failed, n)
-	if failed > 0 {
-		fmt.Fprintf(w, ", %d FAILED", failed)
+	fmt.Fprintf(w, "simcheck: %d/%d scenarios passed", n-t.failed(), n)
+	if t.failed() > 0 {
+		fmt.Fprintf(w, ", %d FAILED", t.failed())
 	}
 	fmt.Fprintln(w)
-	return failed, hashes
+	return t, hashes
+}
+
+// runRung executes one ladder rung under the full plain-mode contract
+// and extracts the trend observables.
+func runRung(sp check.Spec, path int) (check.RungObs, failKind) {
+	res, h, kind, msg := runTwice(sp)
+	if kind != kindOK {
+		return check.RungObs{Err: msg}, kind
+	}
+	var total, onPath uint64
+	for _, sf := range res.Subflows {
+		total += sf.SentBytes
+		if sf.Path == path {
+			onPath += sf.SentBytes
+		}
+	}
+	share := math.NaN()
+	if total > 0 {
+		share = float64(onPath) / float64(total)
+	}
+	return check.RungObs{
+		GoodputBytes: res.DeliveredBytes,
+		Gap:          res.Summary.Gap,
+		Share:        share,
+		Hash:         h,
+	}, kindOK
+}
+
+// trendMutate, when non-nil, rewrites every derived ladder before its
+// rungs run. It is a test-only seam: the broken-build test injects a
+// model-level mutation (the loss ladder applied in inverted order —
+// exactly what a sign flip in the loss path would produce) and asserts
+// the trend oracle fails while every rung still passes replay-hash
+// equality.
+var trendMutate func(check.Ladder) check.Ladder
+
+// runTrend derives nLadders perturbation ladders, runs every rung across
+// the worker pool, evaluates the trend policy and writes the
+// deterministic report. It returns the rung failure tally and the number
+// of ladders with trend violations.
+func runTrend(nLadders, steps int, seed int64, workers int, quiet bool, w io.Writer) (tally, int) {
+	lads := make([]check.Ladder, nLadders)
+	for i := range lads {
+		l := check.NewLadder(seed, i, steps)
+		if trendMutate != nil {
+			l = trendMutate(l)
+		}
+		lads[i] = l
+	}
+	rungs := steps + 1
+	obs := make([][]check.RungObs, nLadders)
+	kinds := make([][]failKind, nLadders)
+	for i := range obs {
+		obs[i] = make([]check.RungObs, rungs)
+		kinds[i] = make([]failKind, rungs)
+	}
+	forEach(nLadders*rungs, workers, func(j int) {
+		li, k := j/rungs, j%rungs
+		obs[li][k], kinds[li][k] = runRung(lads[li].Rungs[k], lads[li].Path)
+	})
+
+	pol := check.DefaultTrendPolicy(steps)
+	fmt.Fprintf(w, "simcheck trend: %d ladders x %d steps, base seed %d\n", nLadders, steps, seed)
+	var t tally
+	trendFailed, ok := 0, 0
+	for i := range lads {
+		rep := check.TrendReport{Ladder: lads[i], Obs: obs[i]}
+		rep.Evaluate(pol)
+		for _, k := range kinds[i] {
+			switch k {
+			case kindRun:
+				t.run++
+			case kindHash:
+				t.hash++
+			}
+		}
+		if len(rep.Violations) > 0 {
+			trendFailed++
+		}
+		if rep.OK() {
+			ok++
+			if !quiet {
+				rep.Write(w)
+			}
+		} else {
+			rep.Write(w)
+		}
+	}
+	fmt.Fprintf(w, "simcheck trend: %d/%d ladders passed", ok, nLadders)
+	if ok < nLadders {
+		fmt.Fprintf(w, ", %d FAILED", nLadders-ok)
+	}
+	fmt.Fprintln(w)
+	return t, trendFailed
 }
 
 // diffGolden compares the run's hashes against a recorded corpus and
@@ -180,78 +351,120 @@ func diffGolden(g check.Golden, seed int64, hashes []string, w io.Writer) int {
 	return diverged
 }
 
-func main() {
+// run is the whole CLI behind a testable seam: parse args, execute the
+// selected mode, and map the findings onto the documented exit codes.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		n       = flag.Int("n", 200, "number of random scenarios")
-		seed    = flag.Int64("seed", 1, "base seed; scenario i uses check.SpecSeed(seed, i)")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel worker goroutines")
-		quiet   = flag.Bool("q", false, "only print failing scenarios and the summary")
-		golden  = flag.String("golden", "", "compare every hash against this recorded corpus; any divergence fails")
-		writeG  = flag.String("write-golden", "", "record the corpus of full hashes to this path (all scenarios must pass)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the whole check to this file")
-		memProf = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		n       = fs.Int("n", 200, "number of random scenarios (plain mode)")
+		seed    = fs.Int64("seed", 1, "base seed; scenario/ladder i derives from check.SpecSeed(seed, i)")
+		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel worker goroutines")
+		quiet   = fs.Bool("q", false, "only print failing scenarios/ladders and the summary")
+		golden  = fs.String("golden", "", "compare every hash against this recorded corpus; any divergence fails")
+		writeG  = fs.String("write-golden", "", "record the corpus of full hashes to this path (all scenarios must pass)")
+		trend   = fs.Bool("trend", false, "metamorphic trend mode: run perturbation ladders instead of plain scenarios")
+		ladders = fs.Int("ladders", 24, "trend mode: number of perturbation ladders")
+		steps   = fs.Int("steps", 4, "trend mode: perturbation steps per ladder (each ladder runs steps+1 rungs)")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the whole check to this file")
+		memProf = fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
-	flag.Parse()
-	if *n <= 0 {
-		fmt.Fprintln(os.Stderr, "simcheck: -n must be positive")
-		os.Exit(2)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: simcheck [flags]")
+		fs.PrintDefaults()
+		fmt.Fprint(stderr, exitCodeDoc)
 	}
-	if *golden != "" && *writeG != "" {
-		fmt.Fprintln(os.Stderr, "simcheck: -golden and -write-golden are mutually exclusive")
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return exitOK
+		}
+		return exitUsage
+	}
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	usage := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "simcheck: "+format+"\n", a...)
+		return exitUsage
+	}
+	switch {
+	case *trend && (set["golden"] || set["write-golden"]):
+		return usage("-trend is incompatible with -golden/-write-golden (hash corpora belong to the plain mode)")
+	case *trend && set["n"]:
+		return usage("-n applies to the plain mode; size trend runs with -ladders and -steps")
+	case !*trend && (set["ladders"] || set["steps"]):
+		return usage("-ladders/-steps require -trend")
+	case *trend && *ladders <= 0:
+		return usage("-ladders must be positive")
+	case *trend && *steps <= 0:
+		return usage("-steps must be positive")
+	case !*trend && *n <= 0:
+		return usage("-n must be positive")
+	case *golden != "" && *writeG != "":
+		return usage("-golden and -write-golden are mutually exclusive")
 	}
 	var corpus check.Golden
 	if *golden != "" {
 		f, err := os.Open(*golden)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "simcheck:", err)
-			os.Exit(2)
+			return usage("%v", err)
 		}
 		corpus, err = check.LoadGolden(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "simcheck:", err)
-			os.Exit(2)
+			return usage("%v", err)
 		}
 	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "simcheck:", err)
-		os.Exit(2)
+		return usage("%v", err)
 	}
 
-	failed, hashes := runCheck(*n, *seed, *workers, *quiet, os.Stdout)
+	var t tally
+	trendFailed := 0
+	var hashes []string
+	if *trend {
+		t, trendFailed = runTrend(*ladders, *steps, *seed, *workers, *quiet, stdout)
+	} else {
+		t, hashes = runCheck(*n, *seed, *workers, *quiet, stdout)
+	}
 
 	if err := stopProf(); err != nil {
-		fmt.Fprintln(os.Stderr, "simcheck:", err)
-		os.Exit(2)
+		return usage("%v", err)
 	}
 
 	if *golden != "" {
-		failed += diffGolden(corpus, *seed, hashes, os.Stdout)
+		t.hash += diffGolden(corpus, *seed, hashes, stdout)
 	}
 	if *writeG != "" {
-		if failed > 0 {
-			fmt.Fprintln(os.Stderr, "simcheck: refusing to record a golden corpus from a failing run")
-			os.Exit(1)
+		if t.failed() > 0 {
+			fmt.Fprintln(stderr, "simcheck: refusing to record a golden corpus from a failing run")
+		} else {
+			f, err := os.Create(*writeG)
+			if err != nil {
+				return usage("%v", err)
+			}
+			werr := check.WriteGolden(f, check.Golden{Seed: *seed, Hashes: hashes})
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return usage("%v", werr)
+			}
+			fmt.Fprintf(stderr, "simcheck: recorded %d hashes to %s\n", len(hashes), *writeG)
 		}
-		f, err := os.Create(*writeG)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "simcheck:", err)
-			os.Exit(1)
-		}
-		werr := check.WriteGolden(f, check.Golden{Seed: *seed, Hashes: hashes})
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			fmt.Fprintln(os.Stderr, "simcheck:", werr)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "simcheck: recorded %d hashes to %s\n", len(hashes), *writeG)
 	}
-	if failed > 0 {
-		os.Exit(1)
+	switch {
+	case t.run > 0:
+		return exitFail
+	case t.hash > 0:
+		return exitHash
+	case trendFailed > 0:
+		return exitTrend
 	}
+	return exitOK
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

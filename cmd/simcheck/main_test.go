@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"mptcpsim/internal/check"
 )
 
 // The acceptance property: the report is identical bytes across reruns
@@ -11,14 +16,14 @@ import (
 func TestReportDeterministicAcrossWorkers(t *testing.T) {
 	const n, seed = 12, 1
 	var a, b, c bytes.Buffer
-	if failed, _ := runCheck(n, seed, 1, false, &a); failed != 0 {
-		t.Fatalf("%d scenarios failed:\n%s", failed, a.String())
+	if tl, _ := runCheck(n, seed, 1, false, &a); tl.failed() != 0 {
+		t.Fatalf("%d scenarios failed:\n%s", tl.failed(), a.String())
 	}
-	if failed, _ := runCheck(n, seed, 4, false, &b); failed != 0 {
-		t.Fatalf("%d scenarios failed with 4 workers:\n%s", failed, b.String())
+	if tl, _ := runCheck(n, seed, 4, false, &b); tl.failed() != 0 {
+		t.Fatalf("%d scenarios failed with 4 workers:\n%s", tl.failed(), b.String())
 	}
-	if failed, _ := runCheck(n, seed, 4, false, &c); failed != 0 {
-		t.Fatalf("%d scenarios failed on rerun:\n%s", failed, c.String())
+	if tl, _ := runCheck(n, seed, 4, false, &c); tl.failed() != 0 {
+		t.Fatalf("%d scenarios failed on rerun:\n%s", tl.failed(), c.String())
 	}
 	if a.String() != b.String() {
 		t.Fatal("report differs between 1 and 4 workers")
@@ -33,8 +38,8 @@ func TestReportDeterministicAcrossWorkers(t *testing.T) {
 
 func TestQuietReportsOnlySummary(t *testing.T) {
 	var buf bytes.Buffer
-	if failed, _ := runCheck(3, 2, 2, true, &buf); failed != 0 {
-		t.Fatalf("%d scenarios failed:\n%s", failed, buf.String())
+	if tl, _ := runCheck(3, 2, 2, true, &buf); tl.failed() != 0 {
+		t.Fatalf("%d scenarios failed:\n%s", tl.failed(), buf.String())
 	}
 	out := buf.String()
 	if strings.Count(out, "\n") != 2 {
@@ -42,5 +47,237 @@ func TestQuietReportsOnlySummary(t *testing.T) {
 	}
 	if !strings.Contains(out, "3/3 scenarios passed") {
 		t.Fatalf("summary missing:\n%s", out)
+	}
+}
+
+// The trend mode carries the same determinism contract: ladder reports
+// are identical bytes across worker counts and reruns.
+func TestTrendReportDeterministicAcrossWorkers(t *testing.T) {
+	const ladders, steps, seed = 4, 2, 1
+	var a, b, c bytes.Buffer
+	if tl, failed := runTrend(ladders, steps, seed, 1, false, &a); tl.failed() != 0 || failed != 0 {
+		t.Fatalf("trend run failed (%d rung failures, %d ladder violations):\n%s",
+			tl.failed(), failed, a.String())
+	}
+	if tl, failed := runTrend(ladders, steps, seed, 4, false, &b); tl.failed() != 0 || failed != 0 {
+		t.Fatalf("trend run failed with 4 workers:\n%s", b.String())
+	}
+	if tl, failed := runTrend(ladders, steps, seed, 4, false, &c); tl.failed() != 0 || failed != 0 {
+		t.Fatalf("trend rerun failed:\n%s", c.String())
+	}
+	if a.String() != b.String() {
+		t.Fatal("trend report differs between 1 and 4 workers")
+	}
+	if b.String() != c.String() {
+		t.Fatal("trend report differs across reruns")
+	}
+	if !strings.Contains(a.String(), fmt.Sprintf("%d/%d ladders passed", ladders, ladders)) {
+		t.Fatalf("summary missing:\n%s", a.String())
+	}
+}
+
+// The acceptance demonstration for the metamorphic oracle: a build whose
+// loss is applied with inverted probability produces rungs that are each
+// perfectly deterministic — every one passes replay-hash equality — yet
+// the goodput trend runs the wrong way, and only the trend oracle sees
+// it. The mutation seam replaces the derived ladder with a loss ladder
+// whose rungs run in inverted order, which is exactly the observable a
+// sign flip in the loss path would produce.
+func TestTrendCatchesInvertedLossBuild(t *testing.T) {
+	trendMutate = func(check.Ladder) check.Ladder {
+		l := check.NewLadder(1, 16, 4) // seed-1 loss ladder with a healthy monotone base
+		if l.Knob != check.KnobLossUp {
+			t.Fatalf("ladder 16 perturbs %s, want %s", l.Knob, check.KnobLossUp)
+		}
+		for i, j := 0, len(l.Rungs)-1; i < j; i, j = i+1, j-1 {
+			l.Rungs[i], l.Rungs[j] = l.Rungs[j], l.Rungs[i]
+		}
+		return l
+	}
+	defer func() { trendMutate = nil }()
+
+	var buf bytes.Buffer
+	tl, failed := runTrend(1, 4, 1, 4, false, &buf)
+	out := buf.String()
+	if tl.run != 0 || tl.hash != 0 {
+		t.Fatalf("inverted build must pass invariants and replay hashes, got tally %+v:\n%s", tl, out)
+	}
+	if strings.Contains(out, "ERROR") {
+		t.Fatalf("rungs must measure cleanly:\n%s", out)
+	}
+	if failed != 1 {
+		t.Fatalf("trend oracle flagged %d ladders, want 1:\n%s", failed, out)
+	}
+	if !strings.Contains(out, "goodput not non-increasing") {
+		t.Fatalf("missing pairwise inversion violation:\n%s", out)
+	}
+	if !strings.Contains(out, "rose end-to-end") {
+		t.Fatalf("missing end-to-end drift violation:\n%s", out)
+	}
+
+	// The same ladder in its true order passes: the violation comes from
+	// the inversion, not from loose rungs.
+	trendMutate = func(check.Ladder) check.Ladder { return check.NewLadder(1, 16, 4) }
+	buf.Reset()
+	if tl, failed := runTrend(1, 4, 1, 4, false, &buf); tl.failed() != 0 || failed != 0 {
+		t.Fatalf("uninverted ladder 16 should pass:\n%s", buf.String())
+	}
+}
+
+// The full CLI path for the broken build: exit code 4, distinct from
+// invariant (1) and hash (3) failures.
+func TestRunExitCodeTrendViolation(t *testing.T) {
+	trendMutate = func(check.Ladder) check.Ladder {
+		l := check.NewLadder(1, 16, 4)
+		for i, j := 0, len(l.Rungs)-1; i < j; i, j = i+1, j-1 {
+			l.Rungs[i], l.Rungs[j] = l.Rungs[j], l.Rungs[i]
+		}
+		return l
+	}
+	defer func() { trendMutate = nil }()
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-trend", "-ladders", "1", "-steps", "4", "-q"}, &stdout, &stderr); code != exitTrend {
+		t.Fatalf("exit code %d, want %d (trend violation)\nstdout:\n%s\nstderr:\n%s",
+			code, exitTrend, stdout.String(), stderr.String())
+	}
+}
+
+// fakeOutcomes installs a checkSpecFn that fabricates verdicts without
+// running simulations, and returns a restore func.
+func fakeOutcomes(t *testing.T, kinds []failKind) {
+	t.Helper()
+	orig := checkSpecFn
+	checkSpecFn = func(i int, base int64) outcome {
+		kind := kinds[i]
+		if kind == kindOK {
+			h := fmt.Sprintf("%064d", i)
+			return outcome{hash: h, line: fmt.Sprintf("%4d ok   seed=%d hash=%.12s fake", i, base, h)}
+		}
+		return outcome{kind: kind, line: fmt.Sprintf("%4d FAIL seed=%d fake", i, base)}
+	}
+	t.Cleanup(func() { checkSpecFn = orig })
+}
+
+func TestRunExitCodeClasses(t *testing.T) {
+	cases := []struct {
+		name  string
+		kinds []failKind
+		want  int
+	}{
+		{"all pass", []failKind{kindOK, kindOK}, exitOK},
+		{"invariant failure", []failKind{kindOK, kindRun}, exitFail},
+		{"hash divergence", []failKind{kindHash, kindOK}, exitHash},
+		{"run failure outranks hash", []failKind{kindHash, kindRun}, exitFail},
+	}
+	for _, tc := range cases {
+		fakeOutcomes(t, tc.kinds)
+		var stdout, stderr bytes.Buffer
+		args := []string{"-n", fmt.Sprint(len(tc.kinds)), "-q"}
+		if code := run(args, &stdout, &stderr); code != tc.want {
+			t.Errorf("%s: exit code %d, want %d\n%s", tc.name, code, tc.want, stdout.String())
+		}
+	}
+}
+
+func TestWriteGoldenRefusedOnFailingRun(t *testing.T) {
+	fakeOutcomes(t, []failKind{kindOK, kindRun})
+	path := filepath.Join(t.TempDir(), "corpus.golden")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-n", "2", "-q", "-write-golden", path}, &stdout, &stderr)
+	if code != exitFail {
+		t.Fatalf("exit code %d, want %d", code, exitFail)
+	}
+	if !strings.Contains(stderr.String(), "refusing to record") {
+		t.Fatalf("missing refusal diagnostic:\n%s", stderr.String())
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("refused corpus was still written (stat err: %v)", err)
+	}
+}
+
+func TestGoldenRoundTripAndDivergence(t *testing.T) {
+	fakeOutcomes(t, []failKind{kindOK, kindOK, kindOK})
+	path := filepath.Join(t.TempDir(), "corpus.golden")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-n", "3", "-q", "-write-golden", path}, &stdout, &stderr); code != exitOK {
+		t.Fatalf("recording failed with code %d:\n%s", code, stderr.String())
+	}
+
+	// Replaying the identical fabricated run against its own corpus passes.
+	stdout.Reset()
+	if code := run([]string{"-n", "3", "-q", "-golden", path}, &stdout, &stderr); code != exitOK {
+		t.Fatalf("replay diverged, code %d:\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "3/3 hashes identical") {
+		t.Fatalf("missing golden verdict:\n%s", stdout.String())
+	}
+
+	// Tamper with one recorded hash: the divergence must map to the
+	// determinism exit code and name the scenario.
+	corpus, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(corpus, []byte("1 0000"), []byte("1 1111"), 1)
+	if bytes.Equal(corpus, tampered) {
+		t.Fatal("tamper target not found in corpus")
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	if code := run([]string{"-n", "3", "-q", "-golden", path}, &stdout, &stderr); code != exitHash {
+		t.Fatalf("tampered corpus gave code %d, want %d:\n%s", code, exitHash, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "   1 DIVERGED") {
+		t.Fatalf("divergence report missing scenario index:\n%s", stdout.String())
+	}
+}
+
+// Every flag-error path exits with the usage code and a pointed
+// diagnostic, before any simulation work starts.
+func TestRunFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // required stderr substring
+	}{
+		{"bad golden path", []string{"-golden", "/nonexistent/dir/corpus.golden"}, "no such file"},
+		{"golden conflicts with write-golden", []string{"-golden", "a", "-write-golden", "b"}, "mutually exclusive"},
+		{"trend conflicts with golden", []string{"-trend", "-golden", "a"}, "hash corpora belong to the plain mode"},
+		{"trend conflicts with write-golden", []string{"-trend", "-write-golden", "a"}, "hash corpora belong to the plain mode"},
+		{"trend conflicts with n", []string{"-trend", "-n", "5"}, "-n applies to the plain mode"},
+		{"ladders without trend", []string{"-ladders", "5"}, "-ladders/-steps require -trend"},
+		{"steps without trend", []string{"-steps", "2"}, "-ladders/-steps require -trend"},
+		{"zero ladders", []string{"-trend", "-ladders", "0"}, "-ladders must be positive"},
+		{"zero steps", []string{"-trend", "-steps", "0"}, "-steps must be positive"},
+		{"zero scenarios", []string{"-n", "0"}, "-n must be positive"},
+		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(tc.args, &stdout, &stderr); code != exitUsage {
+			t.Errorf("%s: exit code %d, want %d", tc.name, code, exitUsage)
+			continue
+		}
+		if !strings.Contains(stderr.String(), tc.want) {
+			t.Errorf("%s: stderr missing %q:\n%s", tc.name, tc.want, stderr.String())
+		}
+		if stdout.Len() != 0 {
+			t.Errorf("%s: flag error wrote to stdout:\n%s", tc.name, stdout.String())
+		}
+	}
+}
+
+// -h is not an error: it documents the exit-code contract and exits 0.
+func TestRunHelpDocumentsExitCodes(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-h"}, &stdout, &stderr); code != exitOK {
+		t.Fatalf("-h exited %d, want %d", code, exitOK)
+	}
+	for _, want := range []string{"Exit codes:", "trend violation", "golden-corpus divergence", "invariant violation"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Fatalf("-h output missing %q:\n%s", want, stderr.String())
+		}
 	}
 }

@@ -196,19 +196,103 @@ func TestSpecDeterministic(t *testing.T) {
 }
 
 func TestSpecSeedDistinct(t *testing.T) {
-	seen := make(map[int64]bool)
-	for i := 0; i < 1000; i++ {
-		s := SpecSeed(1, i)
-		if s < 0 {
-			t.Fatalf("SpecSeed(1, %d) = %d, want non-negative", i, s)
+	// Determinism and distinctness over a 10k-index window, for two
+	// bases: batch sharding assumes spec i is a pure function of
+	// (base, i) and that no two indices alias.
+	for _, base := range []int64{1, 2} {
+		seen := make(map[int64]int)
+		for i := 0; i < 10_000; i++ {
+			s := SpecSeed(base, i)
+			if s < 0 {
+				t.Fatalf("SpecSeed(%d, %d) = %d, want non-negative", base, i, s)
+			}
+			if s != SpecSeed(base, i) {
+				t.Fatalf("SpecSeed(%d, %d) not deterministic", base, i)
+			}
+			if j, dup := seen[s]; dup {
+				t.Fatalf("SpecSeed(%d, %d) collides with index %d", base, i, j)
+			}
+			seen[s] = i
 		}
-		if seen[s] {
-			t.Fatalf("SpecSeed(1, %d) collides", i)
-		}
-		seen[s] = true
 	}
 	if SpecSeed(1, 0) == SpecSeed(2, 0) {
 		t.Fatal("different bases yield the same first seed")
+	}
+}
+
+// epochGraph is a two-link line for BuildEpochs boundary cases.
+func epochGraph() *topo.Graph {
+	g := topo.New()
+	a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
+	g.AddLink(a, b, 10*unit.Mbps, time.Millisecond, 0)
+	g.AddLink(b, c, 20*unit.Mbps, time.Millisecond, 0)
+	return g
+}
+
+func TestBuildEpochsBoundaries(t *testing.T) {
+	g := epochGraph()
+	const dur = 100 * time.Millisecond
+	ms := func(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+	cases := []struct {
+		name   string
+		starts []time.Duration
+		caps   func(time.Duration) map[topo.LinkID]float64
+		want   [][2]time.Duration // expected (Start, End) per epoch
+	}{
+		{"no starts means one whole-run epoch", nil, nil,
+			[][2]time.Duration{{0, dur}}},
+		{"event at t=0 does not split the first epoch",
+			[]time.Duration{0}, nil,
+			[][2]time.Duration{{0, dur}}},
+		{"event exactly at duration closes a zero-width epoch",
+			[]time.Duration{0, dur}, nil,
+			[][2]time.Duration{{0, dur}, {dur, dur}}},
+		{"adjacent equal timestamps yield a zero-width middle epoch",
+			[]time.Duration{0, ms(50), ms(50)}, nil,
+			[][2]time.Duration{{0, ms(50)}, {ms(50), ms(50)}, {ms(50), dur}}},
+	}
+	for _, tc := range cases {
+		epochs := BuildEpochs(g, tc.starts, dur, tc.caps)
+		if len(epochs) != len(tc.want) {
+			t.Fatalf("%s: %d epochs, want %d", tc.name, len(epochs), len(tc.want))
+		}
+		for i, ep := range epochs {
+			if ep.Start != tc.want[i][0] || ep.End != tc.want[i][1] {
+				t.Fatalf("%s: epoch %d = [%v,%v), want [%v,%v)",
+					tc.name, i, ep.Start, ep.End, tc.want[i][0], tc.want[i][1])
+			}
+			if len(ep.Mbps) != g.NumLinks() {
+				t.Fatalf("%s: epoch %d carries %d rates, want one per directed link (%d)",
+					tc.name, i, len(ep.Mbps), g.NumLinks())
+			}
+		}
+		// Epochs must tile [0, duration) without gaps: each epoch's end is
+		// the next one's start.
+		for i := 1; i < len(epochs); i++ {
+			if epochs[i].Start != epochs[i-1].End {
+				t.Fatalf("%s: gap between epoch %d and %d", tc.name, i-1, i)
+			}
+		}
+	}
+}
+
+func TestBuildEpochsCapsOverride(t *testing.T) {
+	g := epochGraph()
+	const dur = 100 * time.Millisecond
+	starts := []time.Duration{0, 50 * time.Millisecond}
+	caps := func(start time.Duration) map[topo.LinkID]float64 {
+		if start == 0 {
+			return map[topo.LinkID]float64{0: 2.5} // override from t=0
+		}
+		return map[topo.LinkID]float64{0: 0} // link down in the second epoch
+	}
+	epochs := BuildEpochs(g, starts, dur, caps)
+	if epochs[0].Mbps[0] != 2.5 || epochs[1].Mbps[0] != 0 {
+		t.Fatalf("link 0 rates = %v / %v, want 2.5 then 0", epochs[0].Mbps[0], epochs[1].Mbps[0])
+	}
+	// The unoverridden link keeps its graph rate in both epochs.
+	if epochs[0].Mbps[1] != 20 || epochs[1].Mbps[1] != 20 {
+		t.Fatalf("link 1 rates = %v / %v, want 20 in both epochs", epochs[0].Mbps[1], epochs[1].Mbps[1])
 	}
 }
 

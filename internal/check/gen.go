@@ -195,15 +195,34 @@ func NewSpec(seed int64) Spec {
 		Duration:   duration,
 		QueueScale: qs,
 	}
-	js, err := json.Marshal(&sf)
+	sp.Scenario = emitGenFile(&sf)
+	sp.Name = fmt.Sprintf("cc=%s sched=%s paths=%d links=%d events=%d dur=%v",
+		sp.CC, sp.Scheduler, nPaths, len(sf.Links), len(sf.Events), duration)
+	return sp
+}
+
+// emitGenFile marshals a scenario mirror into the public on-disk JSON —
+// the single emission path NewSpec and ladder rungs (NewLadder) share,
+// so every perturbation rung is a scenario the public loader accepts for
+// exactly the reasons the base spec is.
+func emitGenFile(sf *genFile) []byte {
+	js, err := json.Marshal(sf)
 	if err != nil {
 		// Marshalling plain structs of strings and floats cannot fail.
 		panic(fmt.Sprintf("check: marshal generated scenario: %v", err))
 	}
-	sp.Scenario = js
-	sp.Name = fmt.Sprintf("cc=%s sched=%s paths=%d links=%d events=%d dur=%v",
-		sp.CC, sp.Scheduler, nPaths, len(sf.Links), len(sf.Events), duration)
-	return sp
+	return js
+}
+
+// parseGenFile round-trips a generated scenario back into the mirror
+// structs — the seam trend ladders use to mutate one knob and re-emit.
+// It only accepts this package's own emissions, so failure is a bug.
+func parseGenFile(scenario []byte) genFile {
+	var f genFile
+	if err := json.Unmarshal(scenario, &f); err != nil {
+		panic(fmt.Sprintf("check: re-parse generated scenario: %v", err))
+	}
+	return f
 }
 
 // genTimeline draws a valid event sequence: strictly increasing times, a
