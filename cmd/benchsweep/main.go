@@ -60,21 +60,28 @@ type report struct {
 
 // benchmarks lists the reference workloads: the static sweep isolates the
 // steady-state hot path, the dynamic one adds the event/epoch machinery
-// (piecewise LP baselines, link mutators) so a regression in either layer
-// shows up under its own name.
+// (piecewise LP baselines, link mutators), and the telemetry one re-runs
+// the static workload with engine counters and the flight recorder
+// attached — so a regression in any layer, including the observation
+// plane's overhead, shows up under its own name. sweep_telemetry against
+// sweep_static is the telemetry cost curve; sweep_static itself gates
+// the telemetry-off fast path.
 func benchmarks() []struct {
-	name   string
-	events mptcpsim.EventSet
+	name      string
+	events    mptcpsim.EventSet
+	telemetry bool
 } {
 	return []struct {
-		name   string
-		events mptcpsim.EventSet
+		name      string
+		events    mptcpsim.EventSet
+		telemetry bool
 	}{
-		{"sweep_static", mptcpsim.EventSet{Name: "static"}},
+		{"sweep_static", mptcpsim.EventSet{Name: "static"}, false},
 		{"sweep_dynamic", mptcpsim.EventSet{Name: "outage", Events: []mptcpsim.ScenarioEvent{
 			{AtMs: 400, Type: mptcpsim.EventLinkDown, A: "s", B: "v1"},
 			{AtMs: 700, Type: mptcpsim.EventLinkUp, A: "s", B: "v1"},
-		}}},
+		}}, false},
+		{"sweep_telemetry", mptcpsim.EventSet{Name: "static"}, true},
 	}
 }
 
@@ -236,7 +243,7 @@ func main() {
 			var before, after runtime.MemStats
 			runtime.ReadMemStats(&before)
 			start := time.Now()
-			res, err := (&mptcpsim.Sweep{Workers: *workers}).Run(grid)
+			res, err := (&mptcpsim.Sweep{Workers: *workers, Telemetry: b.telemetry}).Run(grid)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "benchsweep:", err)
 				os.Exit(1)

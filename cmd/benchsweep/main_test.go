@@ -34,7 +34,7 @@ func TestArtifactSchema(t *testing.T) {
 	doc := artifact{Commit: "deadbeef", GoVersion: "go1.24"}
 	for _, b := range benchmarks() {
 		grid := benchGrid(1, b.events)
-		res, err := (&mptcpsim.Sweep{Workers: 4}).Run(grid)
+		res, err := (&mptcpsim.Sweep{Workers: 4, Telemetry: b.telemetry}).Run(grid)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,7 +68,7 @@ func TestArtifactSchema(t *testing.T) {
 		}
 	}
 	benches, ok := fields["benchmarks"].([]any)
-	if !ok || len(benches) != 2 {
+	if !ok || len(benches) != 3 {
 		t.Fatalf("benchmarks field malformed: %v", fields["benchmarks"])
 	}
 	bench, ok := benches[0].(map[string]any)

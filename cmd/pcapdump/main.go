@@ -10,34 +10,51 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mptcpsim/internal/capture"
 	"mptcpsim/internal/packet"
 )
 
-func main() {
+// run is the whole CLI behind a testable seam: parse args, dump the
+// capture, return the exit code (0 ok, 1 read/format failure, 2 usage).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pcapdump", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		tag   = flag.Int("tag", 0, "only frames with this path tag (0 = all)")
-		count = flag.Int("c", 0, "stop after this many frames (0 = all)")
+		tag   = fs.Int("tag", 0, "only frames with this path tag (0 = all)")
+		count = fs.Int("c", 0, "stop after this many frames (0 = all)")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: pcapdump [-tag N] [-c N] file.pcap")
-		os.Exit(2)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: pcapdump [-tag N] [-c N] file.pcap")
+		fs.PrintDefaults()
 	}
-	f, err := os.Open(flag.Arg(0))
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	f, err := os.Open(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "pcapdump:", err)
+		return 1
 	}
 	defer f.Close()
 	records, err := capture.ReadPCAP(bufio.NewReader(f))
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "pcapdump:", err)
+		return 1
 	}
-	out := bufio.NewWriter(os.Stdout)
+	out := bufio.NewWriter(stdout)
 	defer out.Flush()
 	printed := 0
 	for _, r := range records {
@@ -49,7 +66,8 @@ func main() {
 		}
 		line, err := capture.FormatFrame(r)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "pcapdump:", err)
+			return 1
 		}
 		fmt.Fprintln(out, line)
 		printed++
@@ -57,9 +75,9 @@ func main() {
 			break
 		}
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pcapdump:", err)
-	os.Exit(1)
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

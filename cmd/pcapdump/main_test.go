@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mptcpsim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// writePCAP produces the deterministic capture the golden text is built
+// from: 200 ms of the paper experiment with frame retention on. The
+// simulator is bit-deterministic, so every test run regenerates the
+// identical file.
+func writePCAP(t *testing.T) string {
+	t.Helper()
+	res, err := mptcpsim.RunPaper(mptcpsim.Options{
+		Duration: 200 * time.Millisecond, RetainPackets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.pcap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := res.WritePCAP(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	return path
+}
+
+// TestRunGolden locks the tcpdump-style text format byte for byte: the
+// first 40 frames of the paper capture must render exactly the golden
+// file. Regenerate with go test ./cmd/pcapdump -update (and review the
+// diff as a format change).
+func TestRunGolden(t *testing.T) {
+	path := writePCAP(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-c", "40", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	compareGolden(t, "dump.txt", stdout.Bytes())
+}
+
+// TestRunTagFilter asserts -tag selects a proper, non-empty subset of
+// the unfiltered dump.
+func TestRunTagFilter(t *testing.T) {
+	path := writePCAP(t)
+	var full, tagged, stderr bytes.Buffer
+	if code := run([]string{path}, &full, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if code := run([]string{"-tag", "2", path}, &tagged, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	all := strings.Split(strings.TrimRight(full.String(), "\n"), "\n")
+	sub := strings.Split(strings.TrimRight(tagged.String(), "\n"), "\n")
+	if len(sub) == 0 || len(sub) >= len(all) {
+		t.Fatalf("-tag 2 selected %d of %d frames, want a proper non-empty subset",
+			len(sub), len(all))
+	}
+	seen := make(map[string]bool, len(all))
+	for _, line := range all {
+		seen[line] = true
+	}
+	for _, line := range sub {
+		if !seen[line] {
+			t.Fatalf("-tag output line not present in the full dump: %s", line)
+		}
+	}
+}
+
+// TestRunDiagnostics pins the exit codes: 2 for usage, 1 for a missing
+// or unreadable capture.
+func TestRunDiagnostics(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("no arguments: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "usage:") {
+		t.Fatalf("no usage message on stderr: %s", stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{filepath.Join(t.TempDir(), "absent.pcap")}, &stdout, &stderr); code != 1 {
+		t.Fatalf("missing file: exit %d, want 1", code)
+	}
+}
+
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file %s:\n--- got ---\n%s\n--- want ---\n%s",
+			name, path, got, want)
+	}
+}

@@ -35,6 +35,15 @@
 //	simcheck -n 200 -seed 1 -golden internal/check/testdata/hashes-seed1.golden
 //	simcheck -trend -ladders 24 -steps 4 -seed 1
 //
+// Observability: -progress streams NDJSON heartbeats (done/total/failed,
+// EWMA runs/s, ETA) to a file or stderr; -telemetry collects engine
+// counters on the checked pass of every scenario — the replay pass stays
+// plain, so the existing replay-hash equality doubles as a per-scenario
+// proof that telemetry is observation-only; -flightdir dumps the
+// flight-recorder tail (the last engine events) of every failing plain-
+// mode scenario; -http serves expvar and pprof debug endpoints while the
+// check runs.
+//
 // Exit codes are distinct per failure class (see -h): 1 scenario/run or
 // invariant failure, 2 usage or file I/O error, 3 determinism failure
 // (replay-hash or golden-corpus divergence), 4 trend violation.
@@ -48,13 +57,16 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"mptcpsim"
 	"mptcpsim/internal/check"
 	"mptcpsim/internal/prof"
+	"mptcpsim/internal/telemetry"
 )
 
 // Exit codes, one per failure class, so CI and scripts can tell what
@@ -108,9 +120,25 @@ type outcome struct {
 	hash string
 }
 
+// telemetryOn, when set, enables Options.Telemetry on the checked pass
+// of every runTwice. The replay pass stays plain, so the existing
+// replay-hash equality doubles as a per-scenario proof that telemetry is
+// observation-only. flightDir, when non-empty, is where dumpFlight writes
+// failing scenarios' flight-recorder tails. onScenario, when non-nil,
+// observes every completed scenario or rung (true = failed) from worker
+// goroutines — the seam the -progress meter hangs off (the meter carries
+// its own mutex). All three are reassigned on every run() call.
+var (
+	telemetryOn bool
+	flightDir   string
+	onScenario  func(failed bool)
+)
+
 // runTwice executes one spec under the full contract — once with the
 // invariant oracle attached, once plain — and returns the validated
 // result and its canonical hash, or the failure class and its message.
+// On failure the returned result is the checked pass's (partial) result
+// when one exists, so callers can dump its flight-recorder tail.
 func runTwice(sp check.Spec) (*mptcpsim.Result, string, failKind, string) {
 	opts := mptcpsim.Options{
 		CC: sp.CC, Scheduler: sp.Scheduler, SubflowPaths: sp.Order,
@@ -124,33 +152,58 @@ func runTwice(sp check.Spec) (*mptcpsim.Result, string, failKind, string) {
 		}
 		o := opts
 		o.ValidateInvariants = validate
+		o.Telemetry = telemetryOn && validate
 		return mptcpsim.Run(nw, o)
 	}
 	checked, err := run(true)
 	if err != nil {
-		return nil, "", kindRun, err.Error()
+		return checked, "", kindRun, err.Error()
 	}
 	if len(checked.Invariants) > 0 {
-		return nil, "", kindRun, "invariants: " + strings.Join(checked.Invariants, "; ")
+		return checked, "", kindRun, "invariants: " + strings.Join(checked.Invariants, "; ")
 	}
 	replay, err := run(false)
 	if err != nil {
-		return nil, "", kindRun, fmt.Sprintf("replay: %v", err)
+		return checked, "", kindRun, fmt.Sprintf("replay: %v", err)
 	}
 	h := checked.Hash()
 	if rh := replay.Hash(); rh != h {
-		return nil, "", kindHash,
+		return checked, "", kindHash,
 			fmt.Sprintf("replay hash %.12s != %.12s (non-deterministic run)", rh, h)
 	}
 	return checked, h, kindOK, ""
+}
+
+// dumpFlight writes a failing scenario's flight-recorder tail — the last
+// engine events before the failure — to <flightDir>/flight-<i>.ndjson
+// and returns a report-line note naming the file. Scenarios write
+// distinct files, so concurrent workers never collide.
+func dumpFlight(i int, res *mptcpsim.Result) string {
+	if flightDir == "" || res == nil || res.FlightEvents() == 0 {
+		return ""
+	}
+	path := filepath.Join(flightDir, fmt.Sprintf("flight-%d.ndjson", i))
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Sprintf(" (flight dump failed: %v)", err)
+	}
+	werr := res.WriteFlightRecorder(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Sprintf(" (flight dump failed: %v)", werr)
+	}
+	return " (flight tail: " + path + ")"
 }
 
 // checkSpec runs one generated spec under the full contract and verdicts
 // it as a plain-mode report line.
 func checkSpec(i int, base int64) outcome {
 	sp := check.NewSpec(check.SpecSeed(base, i))
-	_, h, kind, msg := runTwice(sp)
+	res, h, kind, msg := runTwice(sp)
 	if kind != kindOK {
+		msg += dumpFlight(i, res)
 		return outcome{kind: kind, line: fmt.Sprintf("%4d FAIL seed=%-19d %s: %s",
 			i, sp.Seed, sp.Name, msg)}
 	}
@@ -199,7 +252,13 @@ func forEach(n, workers int, fn func(int)) {
 // identical for a given (n, seed) whatever the pool size.
 func runCheck(n int, seed int64, workers int, quiet bool, w io.Writer) (tally, []string) {
 	results := make([]outcome, n)
-	forEach(n, workers, func(i int) { results[i] = checkSpecFn(i, seed) })
+	forEach(n, workers, func(i int) {
+		r := checkSpecFn(i, seed)
+		results[i] = r
+		if onScenario != nil {
+			onScenario(r.kind != kindOK)
+		}
+	})
 
 	fmt.Fprintf(w, "simcheck: %d scenarios, base seed %d\n", n, seed)
 	var t tally
@@ -280,7 +339,11 @@ func runTrend(nLadders, steps int, seed int64, workers int, quiet bool, w io.Wri
 	}
 	forEach(nLadders*rungs, workers, func(j int) {
 		li, k := j/rungs, j%rungs
-		obs[li][k], kinds[li][k] = runRung(lads[li].Rungs[k], lads[li].Path)
+		o, kd := runRung(lads[li].Rungs[k], lads[li].Path)
+		obs[li][k], kinds[li][k] = o, kd
+		if onScenario != nil {
+			onScenario(kd != kindOK)
+		}
 	})
 
 	pol := check.DefaultTrendPolicy(steps)
@@ -368,6 +431,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		steps   = fs.Int("steps", 4, "trend mode: perturbation steps per ladder (each ladder runs steps+1 rungs)")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the whole check to this file")
 		memProf = fs.String("memprofile", "", "write an allocation profile to this file at exit")
+		telem   = fs.Bool("telemetry", false, "collect engine telemetry on every checked pass (replays stay plain, so hash equality also proves telemetry is observation-only)")
+		progr   = fs.String("progress", "", "stream NDJSON progress heartbeats to this file (- = stderr)")
+		httpA   = fs.String("http", "", "serve expvar and pprof debug endpoints on this address (e.g. localhost:0)")
+		flight  = fs.String("flightdir", "", "dump failing scenarios' flight-recorder tails into this directory (plain mode; implies -telemetry)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: simcheck [flags]")
@@ -389,6 +456,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	switch {
 	case *trend && (set["golden"] || set["write-golden"]):
 		return usage("-trend is incompatible with -golden/-write-golden (hash corpora belong to the plain mode)")
+	case *trend && set["flightdir"]:
+		return usage("-flightdir applies to the plain mode (trend rungs reuse plain-mode scenarios)")
 	case *trend && set["n"]:
 		return usage("-n applies to the plain mode; size trend runs with -ladders and -steps")
 	case !*trend && (set["ladders"] || set["steps"]):
@@ -413,6 +482,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return usage("%v", err)
 		}
+	}
+
+	// Observability wiring. The package seams are reassigned on every
+	// invocation so repeated run() calls (tests) start clean.
+	telemetryOn = *telem || *flight != ""
+	flightDir = *flight
+	onScenario = nil
+	if flightDir != "" {
+		if err := os.MkdirAll(flightDir, 0o755); err != nil {
+			return usage("%v", err)
+		}
+	}
+	if *progr != "" {
+		w := io.Writer(stderr)
+		if *progr != "-" {
+			f, err := os.Create(*progr)
+			if err != nil {
+				return usage("%v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		total := *n
+		if *trend {
+			total = *ladders * (*steps + 1)
+		}
+		meter := telemetry.NewMeter(w, total, *workers, time.Second)
+		meter.Activate()
+		onScenario = func(failed bool) { meter.Record(failed) }
+		defer meter.Close()
+	}
+	if *httpA != "" {
+		addr, closeSrv, err := telemetry.DebugServer(*httpA)
+		if err != nil {
+			return usage("%v", err)
+		}
+		defer closeSrv()
+		fmt.Fprintf(stderr, "simcheck: debug endpoint on http://%s/debug/vars\n", addr)
 	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)

@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"mptcpsim"
 	"mptcpsim/internal/check"
 )
 
@@ -234,6 +237,164 @@ func TestGoldenRoundTripAndDivergence(t *testing.T) {
 	}
 }
 
+// TestRunProgressHeartbeats drives -progress through the CLI seam: the
+// stream is NDJSON, done never regresses, and the final frame accounts
+// for every scenario including the failed one.
+func TestRunProgressHeartbeats(t *testing.T) {
+	fakeOutcomes(t, []failKind{kindOK, kindRun, kindOK, kindOK})
+	path := filepath.Join(t.TempDir(), "progress.ndjson")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-n", "4", "-q", "-progress", path}, &stdout, &stderr); code != exitFail {
+		t.Fatalf("exit code %d, want %d\nstderr: %s", code, exitFail, stderr.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("progress file is empty")
+	}
+	prevDone := -1
+	var hb struct {
+		T      string  `json:"t"`
+		Done   int     `json:"done"`
+		Total  int     `json:"total"`
+		Failed int     `json:"failed"`
+		ETA    float64 `json:"eta_s"`
+	}
+	for i, line := range lines {
+		if err := json.Unmarshal([]byte(line), &hb); err != nil {
+			t.Fatalf("heartbeat %d: %v: %s", i, err, line)
+		}
+		if _, err := time.Parse(time.RFC3339Nano, hb.T); err != nil {
+			t.Fatalf("heartbeat %d timestamp: %v", i, err)
+		}
+		if hb.Done < prevDone {
+			t.Fatalf("heartbeat %d: done went backwards (%d after %d)", i, hb.Done, prevDone)
+		}
+		prevDone = hb.Done
+	}
+	if hb.Done != 4 || hb.Total != 4 || hb.Failed != 1 || hb.ETA != 0 {
+		t.Fatalf("final heartbeat = %+v, want done=4 total=4 failed=1 eta_s=0", hb)
+	}
+}
+
+// The trend mode sizes its progress total as ladders x rungs, not -n.
+func TestRunTrendProgressTotal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "progress.ndjson")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-trend", "-ladders", "1", "-steps", "2", "-q", "-progress", path}, &stdout, &stderr)
+	if code != exitOK {
+		t.Fatalf("exit code %d, want %d\nstdout:\n%s\nstderr:\n%s",
+			code, exitOK, stdout.String(), stderr.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	var hb struct {
+		Done, Total, Failed int
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &hb); err != nil {
+		t.Fatal(err)
+	}
+	if hb.Done != 3 || hb.Total != 3 || hb.Failed != 0 {
+		t.Fatalf("final heartbeat = %+v, want done=3 total=3 failed=0 (1 ladder x 3 rungs)", hb)
+	}
+}
+
+// TestDumpFlight pins the flight-dump helper checkSpec calls on every
+// failing scenario: the note names the written NDJSON file, its lines
+// parse, and the guards (no dir, no result, no recorder) return nothing.
+func TestDumpFlight(t *testing.T) {
+	res, err := mptcpsim.RunPaper(mptcpsim.Options{Duration: 100 * time.Millisecond, Telemetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FlightEvents() == 0 {
+		t.Fatal("telemetry run retained no flight events")
+	}
+	plain, err := mptcpsim.RunPaper(mptcpsim.Options{Duration: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	flightDir = dir
+	t.Cleanup(func() { flightDir = "" })
+	for name, note := range map[string]string{
+		"nil result":  dumpFlight(1, nil),
+		"no recorder": dumpFlight(2, plain),
+	} {
+		if note != "" {
+			t.Errorf("%s: dumpFlight returned %q, want nothing", name, note)
+		}
+	}
+	flightDir = ""
+	if note := dumpFlight(3, res); note != "" {
+		t.Errorf("no flightdir: dumpFlight returned %q, want nothing", note)
+	}
+
+	flightDir = dir
+	note := dumpFlight(7, res)
+	path := filepath.Join(dir, "flight-7.ndjson")
+	if want := " (flight tail: " + path + ")"; note != want {
+		t.Fatalf("note = %q, want %q", note, want)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) != res.FlightEvents() {
+		t.Fatalf("dump has %d lines, result retained %d events", len(lines), res.FlightEvents())
+	}
+	var ev struct {
+		Kind  string `json:"kind"`
+		Where string `json:"where"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind == "" || ev.Where == "" {
+		t.Fatalf("tail line does not name the event/location: %s", lines[len(lines)-1])
+	}
+}
+
+// A real (tiny) plain run with the full observability surface on: the
+// checked pass carries telemetry yet every replay hash still matches —
+// the per-scenario proof that telemetry is observation-only.
+func TestRunTelemetryObservationOnly(t *testing.T) {
+	dir := t.TempDir()
+	var plain, telem bytes.Buffer
+	var stderr bytes.Buffer
+	if code := run([]string{"-n", "3", "-seed", "2"}, &plain, &stderr); code != exitOK {
+		t.Fatalf("plain run exited %d:\n%s\n%s", code, plain.String(), stderr.String())
+	}
+	args := []string{"-n", "3", "-seed", "2", "-telemetry",
+		"-flightdir", filepath.Join(dir, "flight"), "-http", "localhost:0"}
+	if code := run(args, &telem, &stderr); code != exitOK {
+		t.Fatalf("telemetry run exited %d:\n%s\n%s", code, telem.String(), stderr.String())
+	}
+	if plain.String() != telem.String() {
+		t.Fatalf("telemetry changed the report:\n--- plain ---\n%s\n--- telemetry ---\n%s",
+			plain.String(), telem.String())
+	}
+	if !strings.Contains(stderr.String(), "debug endpoint on http://") {
+		t.Fatalf("-http never announced its endpoint:\n%s", stderr.String())
+	}
+	// All scenarios passed, so no flight dumps.
+	dumps, err := filepath.Glob(filepath.Join(dir, "flight", "flight-*.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dumps) != 0 {
+		t.Fatalf("passing scenarios left flight dumps: %v", dumps)
+	}
+}
+
 // Every flag-error path exits with the usage code and a pointed
 // diagnostic, before any simulation work starts.
 func TestRunFlagErrors(t *testing.T) {
@@ -252,6 +413,8 @@ func TestRunFlagErrors(t *testing.T) {
 		{"zero ladders", []string{"-trend", "-ladders", "0"}, "-ladders must be positive"},
 		{"zero steps", []string{"-trend", "-steps", "0"}, "-steps must be positive"},
 		{"zero scenarios", []string{"-n", "0"}, "-n must be positive"},
+		{"flightdir with trend", []string{"-trend", "-flightdir", "d"}, "-flightdir applies to the plain mode"},
+		{"bad progress path", []string{"-progress", "/nonexistent/dir/progress.ndjson"}, "no such file"},
 		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
 	}
 	for _, tc := range cases {

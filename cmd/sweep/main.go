@@ -56,23 +56,37 @@ import (
 
 	"mptcpsim"
 	"mptcpsim/internal/prof"
+	"mptcpsim/internal/telemetry"
 )
+
+// pct renders a/b as a percentage (0 when b is 0).
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
 
 // config carries the resolved command line.
 type config struct {
-	gridPath   string
-	workers    int
-	seeds      int
-	duration   time.Duration
-	csvPath    string
-	groupsPath string
-	jsonPath   string
-	quiet      bool
-	check      bool
-	shard      string
-	outPath    string
-	merge      bool
-	shardPaths []string
+	gridPath     string
+	workers      int
+	seeds        int
+	duration     time.Duration
+	csvPath      string
+	groupsPath   string
+	jsonPath     string
+	quiet        bool
+	check        bool
+	shard        string
+	outPath      string
+	merge        bool
+	shardPaths   []string
+	telemetry    bool
+	progressPath string
+	httpAddr     string
+	flightDir    string
+	eventLimit   uint64
 }
 
 func main() {
@@ -90,6 +104,11 @@ func main() {
 	flag.StringVar(&cfg.shard, "shard", "", "run only the k/n slice of the grid (e.g. 0/4) and write a shard artifact")
 	flag.StringVar(&cfg.outPath, "out", "", "shard artifact output path (required with -shard)")
 	flag.BoolVar(&cfg.merge, "merge", false, "merge the shard artifacts named as arguments instead of sweeping")
+	flag.BoolVar(&cfg.telemetry, "telemetry", false, "collect engine counters per run and report the sweep-wide rollup")
+	flag.StringVar(&cfg.progressPath, "progress", "", "stream NDJSON progress heartbeats to this file (- = stderr)")
+	flag.StringVar(&cfg.httpAddr, "http", "", "serve expvar + pprof debug endpoints on this address (e.g. :6060)")
+	flag.StringVar(&cfg.flightDir, "flightdir", "", "dump failed runs' flight-recorder tails to this directory (implies -telemetry)")
+	flag.Uint64Var(&cfg.eventLimit, "eventlimit", 0, "abort any run after this many simulation events (0 = no limit)")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
 	memProf := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -136,10 +155,19 @@ func run(cfg config, stdout, stderr io.Writer) error {
 	if cfg.duration > 0 {
 		grid.DurationMs = float64(cfg.duration) / float64(time.Millisecond)
 	}
+	if cfg.eventLimit > 0 {
+		grid.Base.EventLimit = cfg.eventLimit
+	}
+	if cfg.flightDir != "" {
+		// Flight dumps need the recorder attached to every run.
+		cfg.telemetry = true
+	}
 
-	sweep := &mptcpsim.Sweep{Workers: cfg.workers, ValidateInvariants: cfg.check}
+	sweep := &mptcpsim.Sweep{Workers: cfg.workers, ValidateInvariants: cfg.check,
+		Telemetry: cfg.telemetry}
+	var progress func(done, total int, r mptcpsim.RunSummary)
 	if !cfg.quiet {
-		sweep.OnResult = func(done, total int, r mptcpsim.RunSummary) {
+		progress = func(done, total int, r mptcpsim.RunSummary) {
 			status := fmt.Sprintf("gap %5.1f%%", r.Gap*100)
 			if r.Converged {
 				status += fmt.Sprintf(", converged at %.2fs", r.ConvergedAtS)
@@ -151,6 +179,45 @@ func run(cfg config, stdout, stderr io.Writer) error {
 				done, total, r.Scenario, r.Perturbation, r.Events, r.CC,
 				r.Scheduler, r.OrderString(), r.Seed, status)
 		}
+	}
+	meter, closeMeter, err := startMeter(cfg, grid, stderr)
+	if err != nil {
+		return err
+	}
+	defer closeMeter()
+	if progress != nil || meter != nil {
+		sweep.OnResult = func(done, total int, r mptcpsim.RunSummary) {
+			if meter != nil {
+				meter.Record(r.Err != "")
+			}
+			if progress != nil {
+				progress(done, total, r)
+			}
+		}
+	}
+	if cfg.flightDir != "" {
+		if err := os.MkdirAll(cfg.flightDir, 0o777); err != nil {
+			return err
+		}
+		sweep.OnFailure = func(r mptcpsim.RunSummary, res *mptcpsim.Result) {
+			if res == nil || res.FlightEvents() == 0 {
+				return
+			}
+			path := filepath.Join(cfg.flightDir, fmt.Sprintf("flight-%d.ndjson", r.Index))
+			if err := writeFile(path, res.WriteFlightRecorder); err != nil {
+				fmt.Fprintf(stderr, "flight dump %s: %v\n", path, err)
+				return
+			}
+			fmt.Fprintf(stderr, "run %d failed; flight tail in %s\n", r.Index, path)
+		}
+	}
+	if cfg.httpAddr != "" {
+		addr, closeSrv, err := telemetry.DebugServer(cfg.httpAddr)
+		if err != nil {
+			return err
+		}
+		defer closeSrv()
+		fmt.Fprintf(stderr, "debug endpoint on http://%s/debug/vars\n", addr)
 	}
 
 	if cfg.shard != "" {
@@ -175,6 +242,52 @@ func run(cfg config, stdout, stderr io.Writer) error {
 		return fmt.Errorf("%d of %d runs failed", n, len(res.Runs))
 	}
 	return nil
+}
+
+// startMeter opens the -progress channel and returns the heartbeat meter
+// (nil when -progress is unset) plus its teardown. The run total is
+// computed by expanding the grid up front — cheap next to the sweep
+// itself — so ETAs are exact for both full and sharded runs. With -http,
+// Activate additionally publishes the meter under /debug/vars.
+func startMeter(cfg config, grid *mptcpsim.Grid, stderr io.Writer) (*telemetry.Meter, func(), error) {
+	if cfg.progressPath == "" {
+		return nil, func() {}, nil
+	}
+	specs, err := grid.Expand()
+	if err != nil {
+		return nil, nil, err
+	}
+	total := len(specs)
+	if cfg.shard != "" {
+		shard, err := mptcpsim.ParseShard(cfg.shard)
+		if err != nil {
+			return nil, nil, err
+		}
+		total = 0
+		for _, sp := range specs {
+			if sp.Index%shard.N == shard.K {
+				total++
+			}
+		}
+	}
+	w := stderr
+	var f *os.File
+	if cfg.progressPath != "-" {
+		f, err = os.Create(cfg.progressPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		w = f
+	}
+	meter := telemetry.NewMeter(w, total, cfg.workers, time.Second)
+	meter.Activate()
+	teardown := func() {
+		meter.Close()
+		if f != nil {
+			f.Close()
+		}
+	}
+	return meter, teardown, nil
 }
 
 // runShard executes one k/n slice of the grid and writes the mergeable
@@ -250,6 +363,15 @@ func runMerge(cfg config, stdout io.Writer) error {
 func report(res *mptcpsim.SweepResult, cfg config, stdout io.Writer) error {
 	if err := res.Report(stdout); err != nil {
 		return err
+	}
+	// The rollup is pure simulation counts (no wall clock), so it belongs
+	// in the deterministic report.
+	if t := res.Telemetry; t != nil {
+		fmt.Fprintf(stdout, "\ntelemetry: %d runs, %d events fired (%d scheduled, %.1f%% recycled), heap peak %d\n",
+			t.Runs, t.EventsFired, t.EventsScheduled,
+			pct(t.Recycled, t.EventsScheduled), t.HeapPeak)
+		fmt.Fprintf(stdout, "telemetry: %d packets tx (%d offered, %d dropped), %d RTOs, %d fast recoveries, %d sched picks\n",
+			t.TxPackets, t.Offered, t.Drops, t.RTOs, t.FastRecoveries, t.SchedPicks)
 	}
 	if idx := res.SortRunsByGap(); len(idx) > 0 {
 		best := res.Runs[idx[0]]

@@ -234,6 +234,145 @@ func TestRunShardMergeGolden(t *testing.T) {
 	}
 }
 
+// TestRunTelemetryAndProgress drives the observability flag surface on a
+// passing sweep: -telemetry adds the rollup lines to the report without
+// touching the golden outputs, and -progress streams NDJSON heartbeats
+// whose final frame accounts for every run.
+func TestRunTelemetryAndProgress(t *testing.T) {
+	dir := t.TempDir()
+	gridPath := filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(gridPath, []byte(goldenGrid), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := config{
+		gridPath:     gridPath,
+		workers:      4,
+		quiet:        true,
+		check:        true,
+		telemetry:    true,
+		progressPath: filepath.Join(dir, "progress.ndjson"),
+		csvPath:      filepath.Join(dir, "runs.csv"),
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run(cfg, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+
+	// The rollup rides below the report; the deterministic outputs above it
+	// (and the CSV) must still match the telemetry-off golden files.
+	report := stdout.String()
+	if !strings.Contains(report, "telemetry:") || !strings.Contains(report, "events fired") {
+		t.Fatalf("report carries no telemetry rollup:\n%s", report)
+	}
+	var reportLines []string
+	for _, line := range strings.Split(report, "\n") {
+		if strings.HasPrefix(line, "wrote ") {
+			continue
+		}
+		if strings.HasPrefix(line, "telemetry:") {
+			// Drop the blank separator that introduces the rollup block too.
+			if n := len(reportLines); n > 0 && reportLines[n-1] == "" {
+				reportLines = reportLines[:n-1]
+			}
+			continue
+		}
+		reportLines = append(reportLines, line)
+	}
+	compareGolden(t, "report.txt", []byte(strings.Join(reportLines, "\n")))
+	got, err := os.ReadFile(cfg.csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "runs.csv", got)
+
+	raw, err := os.ReadFile(cfg.progressPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("progress file is empty")
+	}
+	prevDone := -1
+	var hb struct {
+		Done    int     `json:"done"`
+		Total   int     `json:"total"`
+		Failed  int     `json:"failed"`
+		RunsPS  float64 `json:"runs_per_s"`
+		ETA     float64 `json:"eta_s"`
+		Workers int     `json:"workers"`
+	}
+	for i, line := range lines {
+		if err := json.Unmarshal([]byte(line), &hb); err != nil {
+			t.Fatalf("heartbeat %d: %v: %s", i, err, line)
+		}
+		if hb.Done < prevDone {
+			t.Fatalf("heartbeat %d: done went backwards (%d after %d)", i, hb.Done, prevDone)
+		}
+		prevDone = hb.Done
+	}
+	if hb.Done != 4 || hb.Total != 4 || hb.Failed != 0 {
+		t.Fatalf("final heartbeat = %+v, want done=4 total=4 failed=0", hb)
+	}
+	if hb.Workers != 4 || hb.ETA != 0 {
+		t.Fatalf("final heartbeat = %+v, want workers=4 eta_s=0", hb)
+	}
+}
+
+// TestRunFlightDumps aborts every run with a tiny event limit and checks
+// -flightdir captures a parseable NDJSON tail per failed run (implying
+// -telemetry without the flag being set).
+func TestRunFlightDumps(t *testing.T) {
+	dir := t.TempDir()
+	gridPath := filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(gridPath, []byte(goldenGrid), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := config{
+		gridPath:   gridPath,
+		workers:    2,
+		quiet:      true,
+		flightDir:  filepath.Join(dir, "flight"),
+		eventLimit: 5000,
+	}
+	var stdout, stderr bytes.Buffer
+	err := run(cfg, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "runs failed") {
+		t.Fatalf("event-limited sweep did not fail: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "flight tail in") {
+		t.Fatalf("stderr never announced a flight dump:\n%s", stderr.String())
+	}
+
+	dumps, err := filepath.Glob(filepath.Join(cfg.flightDir, "flight-*.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dumps) != 4 {
+		t.Fatalf("%d flight dumps, want one per aborted run (4): %v", len(dumps), dumps)
+	}
+	for _, path := range dumps {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+		if len(lines) == 0 || lines[0] == "" {
+			t.Fatalf("%s is empty", path)
+		}
+		var ev struct {
+			Kind  string `json:"kind"`
+			Where string `json:"where"`
+		}
+		if err := json.Unmarshal([]byte(lines[len(lines)-1]), &ev); err != nil {
+			t.Fatalf("%s tail: %v", path, err)
+		}
+		if ev.Kind == "" || ev.Where == "" {
+			t.Fatalf("%s tail does not name the event/location: %s", path, lines[len(lines)-1])
+		}
+	}
+}
+
 // TestRunFlagDiagnostics exercises the fail-fast checks around the
 // shard/merge flag surface.
 func TestRunFlagDiagnostics(t *testing.T) {

@@ -16,6 +16,7 @@ import (
 	"mptcpsim/internal/sim"
 	"mptcpsim/internal/stats"
 	"mptcpsim/internal/tcp"
+	"mptcpsim/internal/telemetry"
 	"mptcpsim/internal/topo"
 	"mptcpsim/internal/trace"
 	"mptcpsim/internal/unit"
@@ -185,6 +186,13 @@ func Run(nw *Network, opts Options) (*Result, error) {
 		oracle = check.NewOracle(net, check.BuildEpochs(g, epochStarts, opts.Duration,
 			func(st time.Duration) map[topo.LinkID]float64 { return tl.CapsAt(st, g) }))
 	}
+	// The flight recorder is another pure observer: a preallocated ring of
+	// the last engine events, dumped when the run fails. Attaching it
+	// changes no scheduling and consumes no randomness.
+	if opts.Telemetry {
+		res.flight = telemetry.NewRecorder(telemetry.DefaultRingSize)
+		res.flight.Attach(net)
+	}
 	// Sorted iteration: ranging over the map directly would hand out
 	// rng.Fork() streams in random order, making runs with several lossy
 	// links irreproducible.
@@ -331,6 +339,12 @@ func Run(nw *Network, opts Options) (*Result, error) {
 	}
 
 	if err := loop.RunUntil(sim.Time(opts.Duration)); err != nil {
+		// A mid-run abort (event limit) still returns the partial result
+		// alongside the error when telemetry is on, so callers can dump
+		// the flight-recorder tail that led up to the failure.
+		if res.flight != nil {
+			return res, err
+		}
 		return nil, err
 	}
 	res.LoopEvents = loop.Processed()
@@ -439,6 +453,45 @@ func Run(nw *Network, opts Options) (*Result, error) {
 	}
 	if opts.RetainPackets {
 		res.records = sniff.Records()
+	}
+	if opts.Telemetry {
+		snap := &telemetry.Snapshot{
+			Sim:          telemetry.FromSim(loop.Counters()),
+			FlightEvents: res.flight.Len(),
+			FlightTotal:  res.flight.Total(),
+		}
+		for _, l := range net.Links() {
+			lc := telemetry.LinkCounters{
+				Name:          l.Name(),
+				Offered:       l.Counters.Offered,
+				TxPackets:     l.Counters.TxPackets,
+				TxBytes:       l.Counters.TxBytes,
+				MaxQueueBytes: int(l.Counters.MaxQueue),
+				Utilisation:   l.Utilisation(),
+			}
+			if len(l.Counters.Drops) > 0 {
+				lc.Drops = make(map[string]uint64, len(l.Counters.Drops))
+				for reason, n := range l.Counters.Drops {
+					lc.Drops[reason.String()] = n
+				}
+			}
+			snap.Links = append(snap.Links, lc)
+		}
+		for _, sf := range conn.Subflows() {
+			sc := telemetry.SubflowCounters{
+				Path:       int(sf.Spec.Tag),
+				Label:      sf.Spec.Label,
+				SchedPicks: sf.Picks,
+			}
+			if sf.TCP != nil {
+				sc.RTOs = sf.TCP.Stats.RTOs
+				sc.FastRecoveries = sf.TCP.Stats.FastRecovery
+				sc.Retransmits = sf.TCP.Stats.Retransmits
+				sc.CwndPeakBytes = int(sf.TCP.CwndPeak)
+			}
+			snap.Subflows = append(snap.Subflows, sc)
+		}
+		res.Telemetry = snap
 	}
 	if oracle != nil {
 		v := oracle.Violations()

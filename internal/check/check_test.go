@@ -2,7 +2,9 @@ package check
 
 import (
 	"bytes"
+	"encoding/json"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -10,6 +12,7 @@ import (
 	"mptcpsim/internal/packet"
 	"mptcpsim/internal/route"
 	"mptcpsim/internal/sim"
+	"mptcpsim/internal/telemetry"
 	"mptcpsim/internal/topo"
 	"mptcpsim/internal/unit"
 )
@@ -180,6 +183,70 @@ func TestOracleFlagsReordering(t *testing.T) {
 	o.OnArrive(l, &packet.Packet{UID: 8})
 	if len(o.fifo) == 0 {
 		t.Fatal("oracle missed a reordered arrival")
+	}
+}
+
+// TestFlightRecorderNamesOffendingLink is the failure-forensics
+// acceptance path: a run whose invariant oracle trips (here a seeded
+// capacity-budget tamper on link a->b) must leave a flight-recorder tail
+// whose NDJSON events name the offending link, alongside a violation
+// message naming the same link.
+func TestFlightRecorderNamesOffendingLink(t *testing.T) {
+	loop, net, src, aAddr, cAddr := lineNet(t, 10*unit.Mbps, time.Millisecond)
+	epochs := staticEpochs(net.Graph, 100*time.Millisecond)
+	for i := range epochs[0].Mbps {
+		epochs[0].Mbps[i] = 0.001 // claim ~12.5 bytes of budget
+	}
+	o := NewOracle(net, epochs)
+	rec := telemetry.NewRecorder(64)
+	rec.Attach(net)
+	loop.Schedule(0, func() {
+		for i := 0; i < 20; i++ {
+			src.Send(dataPkt(aAddr, cAddr, 1000))
+		}
+	})
+	if err := loop.RunUntil(sim.Time(100 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+
+	offender := net.Link(0).Name()
+	violations := o.Violations()
+	if len(violations) == 0 {
+		t.Fatal("tampered capacity budget tripped no invariant")
+	}
+	named := false
+	for _, msg := range violations {
+		if strings.Contains(msg, offender) {
+			named = true
+		}
+	}
+	if !named {
+		t.Fatalf("no violation names link %q: %v", offender, violations)
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("flight recorder retained nothing")
+	}
+	onLink := 0
+	for i, raw := range lines {
+		var e struct {
+			Kind  string `json:"kind"`
+			Where string `json:"where"`
+		}
+		if err := json.Unmarshal([]byte(raw), &e); err != nil {
+			t.Fatalf("tail line %d: %v: %s", i, err, raw)
+		}
+		if e.Where == offender && (e.Kind == "transmit" || e.Kind == "arrive") {
+			onLink++
+		}
+	}
+	if onLink == 0 {
+		t.Fatalf("flight tail never names offending link %q:\n%s", offender, buf.String())
 	}
 }
 

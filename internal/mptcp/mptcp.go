@@ -76,6 +76,10 @@ type Subflow struct {
 	Index int
 
 	conn *Conn
+	// Picks counts scheduler grants that actually put data on this
+	// subflow — the per-subflow view of where the scheduler sends its
+	// attention. Telemetry only; excluded from result hashes.
+	Picks uint64
 	// assigned counts DSN bytes mapped onto this subflow (sender side).
 	assigned uint64
 	// redundantCursor is this subflow's private DSN cursor under the
@@ -226,7 +230,11 @@ type sfSource struct {
 func (s *sfSource) Next(max int) (int, *packet.DSS) {
 	c := s.sf.conn
 	if red, ok := c.sched.(*Redundant); ok {
-		return red.nextFor(s.sf, max)
+		n, dss := red.nextFor(s.sf, max)
+		if n > 0 {
+			s.sf.Picks++
+		}
+		return n, dss
 	}
 	n := c.sched.Grant(s.sf, max)
 	if n <= 0 {
@@ -239,6 +247,7 @@ func (s *sfSource) Next(max int) (int, *packet.DSS) {
 	dss := &packet.DSS{HasMap: true, DSN: c.dsnNext, DataLen: uint16(n)}
 	c.dsnNext += uint64(n)
 	s.sf.assigned += uint64(n)
+	s.sf.Picks++
 	return n, dss
 }
 

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCountersAccounting pins the Counters snapshot against a scripted
+// workload: sequential events recycle one arena node, a stopped timer
+// counts as scheduled but not fired, and a burst of concurrently pending
+// events sets the high-water marks.
+func TestCountersAccounting(t *testing.T) {
+	l := NewLoop()
+
+	// Phase 1: 10 strictly sequential events — each fires (and frees its
+	// node) before the next is scheduled, so the arena stays at one node.
+	n := 0
+	var next func()
+	next = func() {
+		n++
+		if n < 10 {
+			l.Schedule(time.Millisecond, next)
+		}
+	}
+	l.Schedule(time.Millisecond, next)
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c := l.Counters()
+	if c.Scheduled != 10 || c.Fired != 10 {
+		t.Fatalf("sequential phase: scheduled=%d fired=%d, want 10/10", c.Scheduled, c.Fired)
+	}
+	if c.ArenaNodes != 1 || c.Recycled != 9 {
+		t.Fatalf("sequential phase: arena=%d recycled=%d, want 1/9 (one node reused)", c.ArenaNodes, c.Recycled)
+	}
+	if c.InUsePeak != 1 || c.HeapPeak != 1 {
+		t.Fatalf("sequential phase: inUsePeak=%d heapPeak=%d, want 1/1", c.InUsePeak, c.HeapPeak)
+	}
+
+	// Phase 2: 8 concurrently pending events push both high-water marks;
+	// one stopped timer stays counted in Scheduled but never fires.
+	for i := 0; i < 8; i++ {
+		l.Schedule(time.Duration(i+1)*time.Millisecond, func() {})
+	}
+	stopped := l.Schedule(time.Hour, func() { t.Fatal("stopped timer fired") })
+	if !stopped.Stop() {
+		t.Fatal("timer did not report pending on Stop")
+	}
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c = l.Counters()
+	if c.Scheduled != 19 || c.Fired != 18 {
+		t.Fatalf("burst phase: scheduled=%d fired=%d, want 19/18", c.Scheduled, c.Fired)
+	}
+	if c.InUsePeak != 9 || c.HeapPeak != 9 {
+		t.Fatalf("burst phase: inUsePeak=%d heapPeak=%d, want 9/9", c.InUsePeak, c.HeapPeak)
+	}
+	if c.ArenaNodes != 9 || c.Recycled != 10 {
+		t.Fatalf("burst phase: arena=%d recycled=%d, want 9/10", c.ArenaNodes, c.Recycled)
+	}
+	if got := c.Recycled + uint64(c.ArenaNodes); got != c.Scheduled {
+		t.Fatalf("recycled(%d) + arena(%d) = %d, want scheduled %d",
+			c.Recycled, c.ArenaNodes, got, c.Scheduled)
+	}
+}
+
+// TestCountersZeroAlloc gates the snapshot itself and the high-water
+// bookkeeping: reading counters mid-steady-state allocates nothing, like
+// the schedule path it observes.
+func TestCountersZeroAlloc(t *testing.T) {
+	l := NewLoop()
+	sink := Counters{}
+	// Warm the arena so the measured loop stays on the free list.
+	for i := 0; i < 64; i++ {
+		l.Schedule(time.Millisecond, func() {})
+	}
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		l.Schedule(time.Millisecond, func() {})
+		if err := l.Run(); err != nil {
+			t.Fatal(err)
+		}
+		sink = l.Counters()
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+run+Counters allocates %.1f objects, want 0", allocs)
+	}
+	if sink.Fired == 0 {
+		t.Fatal("gate measured nothing: no events fired")
+	}
+}

@@ -149,6 +149,12 @@ type Loop struct {
 	processed uint64
 	// limit aborts runaway simulations; 0 means no limit.
 	limit uint64
+
+	// heapPeak and inUsePeak are high-water marks of the pending queue and
+	// the occupied arena, maintained unconditionally (one integer compare
+	// per schedule) so Counters works without a telemetry mode switch.
+	heapPeak  int
+	inUsePeak int
 }
 
 // NewLoop returns an empty event loop positioned at time Start.
@@ -165,6 +171,38 @@ func (l *Loop) Processed() uint64 { return l.processed }
 // SetEventLimit aborts Run with ErrEventLimit after n events (0 disables the
 // limit). It exists to catch accidental event storms in tests.
 func (l *Loop) SetEventLimit(n uint64) { l.limit = n }
+
+// Counters is a read-only snapshot of the loop's internal accounting:
+// event volume, arena footprint and the high-water marks of the pending
+// queue. Maintaining it costs two integer compares per scheduled event —
+// there is no telemetry mode to switch on — and snapshotting allocates
+// nothing.
+type Counters struct {
+	// Scheduled counts events ever scheduled (including later-stopped
+	// timers); Fired counts events that executed.
+	Scheduled uint64
+	Fired     uint64
+	// ArenaNodes is the pooled arena size (nodes ever created); Recycled
+	// counts allocations served by the free list instead of arena growth.
+	ArenaNodes int
+	Recycled   uint64
+	// InUsePeak is the peak number of concurrently pending nodes, HeapPeak
+	// the deepest pending queue.
+	InUsePeak int
+	HeapPeak  int
+}
+
+// Counters returns the loop's accounting snapshot.
+func (l *Loop) Counters() Counters {
+	return Counters{
+		Scheduled:  l.seq,
+		Fired:      l.processed,
+		ArenaNodes: len(l.nodes),
+		Recycled:   l.seq - uint64(len(l.nodes)),
+		InUsePeak:  l.inUsePeak,
+		HeapPeak:   l.heapPeak,
+	}
+}
 
 // ErrEventLimit is returned by Run when the configured event limit is hit.
 var ErrEventLimit = errors.New("sim: event limit exceeded")
@@ -188,6 +226,9 @@ func (l *Loop) alloc(at Time, fn func(), cb Callback) int32 {
 	nd.fn = fn
 	nd.cb = cb
 	l.seq++
+	if used := len(l.nodes) - len(l.free); used > l.inUsePeak {
+		l.inUsePeak = used
+	}
 	return id
 }
 
@@ -214,6 +255,9 @@ func (l *Loop) less(a, b int32) bool {
 // push inserts a node id into the heap.
 func (l *Loop) push(id int32) {
 	l.heap = append(l.heap, id)
+	if len(l.heap) > l.heapPeak {
+		l.heapPeak = len(l.heap)
+	}
 	pos := int32(len(l.heap) - 1)
 	l.nodes[id].pos = pos
 	l.up(pos)

@@ -129,6 +129,10 @@ type Conn struct {
 
 	// Stats accumulates counters.
 	Stats Stats
+	// CwndPeak is the congestion window's high-water mark in bytes,
+	// sampled at each transmission — a telemetry gauge, never fed back
+	// into the window computation and excluded from result hashes.
+	CwndPeak float64
 
 	onEstablished func(c *Conn)
 }
@@ -376,5 +380,8 @@ func (c *Conn) transmit(t *packet.TCP, n int) {
 	}
 	c.Stats.SentSegments++
 	c.Stats.SentBytes += uint64(n)
+	if c.Flow.Cwnd > c.CwndPeak {
+		c.CwndPeak = c.Flow.Cwnd
+	}
 	c.host.node.Send(p)
 }

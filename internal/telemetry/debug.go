@@ -1,0 +1,34 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugServer starts an HTTP debug endpoint on addr serving expvar
+// metrics (/debug/vars, including any Activated Meter) and the standard
+// pprof handlers (/debug/pprof/...). It returns the bound address (useful
+// with ":0") and a shutdown function. The server runs on its own
+// goroutine and never touches simulation state, so it cannot perturb
+// determinism.
+func DebugServer(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	close := func() error {
+		return srv.Close()
+	}
+	return ln.Addr().String(), close, nil
+}

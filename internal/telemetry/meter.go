@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"sync"
+	"time"
+)
+
+// Heartbeat is one NDJSON progress line. Heartbeats carry wall-clock data
+// and are therefore written to a side channel (-progress), never into
+// sweep artifacts, which must stay byte-identical across machines.
+type Heartbeat struct {
+	// T is the wall-clock emission time (RFC 3339, with sub-second
+	// precision); ElapsedS the seconds since the meter started.
+	T        string  `json:"t"`
+	ElapsedS float64 `json:"elapsed_s"`
+	// Done / Total / Failed count runs; Done is monotone because the
+	// OnResult hook feeding Record is serialised.
+	Done   int `json:"done"`
+	Total  int `json:"total"`
+	Failed int `json:"failed"`
+	// RunsPerS is the EWMA completion rate, EtaS the projected seconds to
+	// completion at that rate (0 when done or unknown).
+	RunsPerS float64 `json:"runs_per_s"`
+	EtaS     float64 `json:"eta_s"`
+	// Workers is the configured pool size; IdleMs the wall milliseconds
+	// since the previous completion — a liveness signal (a large value
+	// with Done < Total means the pool is stuck or on a long run).
+	Workers int   `json:"workers"`
+	IdleMs  int64 `json:"idle_ms"`
+}
+
+// Meter turns a stream of run completions into periodic NDJSON heartbeats.
+// Feed it from a serialised completion hook (Sweep.OnResult, or simcheck's
+// result loop); it rate-limits emission to the configured interval and
+// always emits the final heartbeat on Close. A Meter is also safe for
+// concurrent Record calls: it carries its own mutex.
+type Meter struct {
+	mu       sync.Mutex
+	w        io.Writer
+	total    int
+	workers  int
+	interval time.Duration
+
+	start    time.Time
+	last     time.Time // previous completion
+	lastEmit time.Time
+	done     int
+	failed   int
+	// ewmaDt is the smoothed seconds-per-completion (aggregate over the
+	// pool, so ETA needs no worker-count correction).
+	ewmaDt float64
+
+	// now is the clock, swappable in tests.
+	now func() time.Time
+}
+
+// ewmaAlpha weights the newest inter-completion gap at 20%.
+const ewmaAlpha = 0.2
+
+// NewMeter returns a meter for total runs on a pool of workers, writing
+// heartbeats to w at most once per interval (plus a final one on Close).
+// An interval <= 0 emits on every completion.
+func NewMeter(w io.Writer, total, workers int, interval time.Duration) *Meter {
+	m := &Meter{w: w, total: total, workers: workers, interval: interval,
+		now: time.Now}
+	m.start = m.now()
+	m.last = m.start
+	return m
+}
+
+// Record notes one completed run and emits a heartbeat if the interval has
+// elapsed since the last one.
+func (m *Meter) Record(failed bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	m.done++
+	if failed {
+		m.failed++
+	}
+	dt := now.Sub(m.last).Seconds()
+	if m.done == 1 {
+		m.ewmaDt = dt
+	} else {
+		m.ewmaDt = (1-ewmaAlpha)*m.ewmaDt + ewmaAlpha*dt
+	}
+	m.last = now
+	if m.lastEmit.IsZero() || now.Sub(m.lastEmit) >= m.interval || m.done == m.total {
+		return m.emit(now)
+	}
+	return nil
+}
+
+// Close emits the final heartbeat (even if the interval has not elapsed).
+func (m *Meter) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.emit(m.now())
+}
+
+// snapshot builds the heartbeat under the lock.
+func (m *Meter) snapshot(now time.Time) Heartbeat {
+	hb := Heartbeat{
+		T:        now.Format(time.RFC3339Nano),
+		ElapsedS: now.Sub(m.start).Seconds(),
+		Done:     m.done,
+		Total:    m.total,
+		Failed:   m.failed,
+		Workers:  m.workers,
+		IdleMs:   now.Sub(m.last).Milliseconds(),
+	}
+	if m.ewmaDt > 0 {
+		hb.RunsPerS = 1 / m.ewmaDt
+		if remaining := m.total - m.done; remaining > 0 {
+			hb.EtaS = float64(remaining) * m.ewmaDt
+		}
+	}
+	return hb
+}
+
+func (m *Meter) emit(now time.Time) error {
+	m.lastEmit = now
+	if m.w == nil {
+		return nil
+	}
+	enc := json.NewEncoder(m.w)
+	return enc.Encode(m.snapshot(now))
+}
+
+// expvar integration: tests (and embedders) may create many meters, but
+// expvar.Publish panics on duplicate names, so the package registers one
+// Func that reads whichever meter is currently activated.
+var (
+	expvarOnce sync.Once
+	activeMu   sync.Mutex
+	activeM    *Meter
+)
+
+// Activate publishes the meter as the process's "sweep_progress" expvar,
+// replacing any previously activated meter. The debug HTTP endpoint
+// (DebugServer) serves it under /debug/vars.
+func (m *Meter) Activate() {
+	expvarOnce.Do(func() {
+		expvar.Publish("sweep_progress", expvar.Func(func() any {
+			activeMu.Lock()
+			cur := activeM
+			activeMu.Unlock()
+			if cur == nil {
+				return nil
+			}
+			cur.mu.Lock()
+			defer cur.mu.Unlock()
+			return cur.snapshot(cur.now())
+		}))
+	})
+	activeMu.Lock()
+	activeM = m
+	activeMu.Unlock()
+}

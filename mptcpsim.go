@@ -123,6 +123,16 @@ type Options struct {
 	// events (0 = no limit). Randomized harnesses set it as a runaway
 	// guard: a pathological scenario fails fast instead of spinning.
 	EventLimit uint64
+	// Telemetry collects engine counters (event-loop volume and peaks,
+	// per-link dataplane counters, per-subflow transport/scheduler
+	// activity) into Result.Telemetry and attaches a flight recorder
+	// retaining the last engine events for Result.WriteFlightRecorder.
+	// Like ValidateInvariants it is observation-only: a run with
+	// telemetry hashes bit-identically to one without, and the telemetry
+	// itself is excluded from Result.Hash. The json tag keeps it out of
+	// the shard grid digest: a telemetry-enabled shard executes exactly
+	// the runs of a plain one, so the two must keep merging.
+	Telemetry bool `json:"-"`
 }
 
 // withDefaults fills unset fields.

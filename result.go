@@ -12,6 +12,7 @@ import (
 
 	"mptcpsim/internal/capture"
 	"mptcpsim/internal/stats"
+	"mptcpsim/internal/telemetry"
 	"mptcpsim/internal/trace"
 )
 
@@ -137,8 +138,13 @@ type Result struct {
 	// (Options.ValidateInvariants); empty means every audited property
 	// held. See Options.ValidateInvariants for the list.
 	Invariants []string
+	// Telemetry holds the run's engine counters (Options.Telemetry).
+	// Observation-only and excluded from Hash: a run with telemetry
+	// enabled hashes identically to one without.
+	Telemetry *telemetry.Snapshot
 
 	records []capture.Record
+	flight  *telemetry.Recorder
 }
 
 // Hash returns a canonical SHA-256 fingerprint of everything the run
@@ -335,6 +341,27 @@ func (r *Result) Chart(w io.Writer, title string) error {
 		}
 	}
 	return trace.Chart(w, opts, series...)
+}
+
+// WriteFlightRecorder dumps the flight recorder's retained event tail as
+// NDJSON, oldest event first (requires Options.Telemetry). On a failed or
+// invariant-violating run the tail names the links and packets involved
+// in the failure — see the README's Observability section for the line
+// schema.
+func (r *Result) WriteFlightRecorder(w io.Writer) error {
+	if r.flight == nil {
+		return fmt.Errorf("mptcpsim: no flight recorder; set Options.Telemetry")
+	}
+	return r.flight.WriteNDJSON(w)
+}
+
+// FlightEvents returns the number of engine events the flight recorder
+// retained (0 without Options.Telemetry).
+func (r *Result) FlightEvents() int {
+	if r.flight == nil {
+		return 0
+	}
+	return r.flight.Len()
 }
 
 // WritePCAP exports the retained capture as a pcap file (requires

@@ -149,7 +149,9 @@ func (s *Sweep) RunShard(g *Grid, shard Shard) (*ShardResult, error) {
 			mine = append(mine, sp)
 		}
 	}
-	runs, results := s.execute(mine)
+	// The telemetry rollup (third return) is dropped: shard artifacts keep
+	// their pre-telemetry byte layout so mixed-version fleets still merge.
+	runs, results, _ := s.execute(mine)
 	sr := &ShardResult{
 		GridDigest: digest,
 		K:          shard.K,

@@ -15,6 +15,7 @@ import (
 	"mptcpsim/internal/cc"
 	"mptcpsim/internal/mptcp"
 	"mptcpsim/internal/stats"
+	"mptcpsim/internal/telemetry"
 )
 
 // Grid describes a parameter sweep: the cross product of scenarios,
@@ -668,6 +669,11 @@ type SweepResult struct {
 	Groups []GroupStats `json:"groups"`
 	// Gap aggregates the optimality gap across every completed run.
 	Gap stats.Agg `json:"gap"`
+	// Telemetry is the engine-counter rollup across every run when
+	// Sweep.Telemetry is set (sums and maxima only, so it is identical
+	// for any worker count). Not carried through shard artifacts: shard
+	// output must stay byte-identical to its pre-telemetry contract.
+	Telemetry *telemetry.Rollup `json:"telemetry,omitempty"`
 	// Results holds the full per-run Result values when Sweep.Keep is set
 	// (indexed like Runs; memory heavy).
 	Results []*Result `json:"-"`
@@ -683,6 +689,13 @@ type Sweep struct {
 	// OnResult, when set, is called after each run completes (serialised;
 	// done counts finished runs). Use it to stream progress.
 	OnResult func(done, total int, r RunSummary)
+	// OnFailure, when set, is called for each failed run (serialised with
+	// OnResult, under the same lock). res is the run's partial Result
+	// when one exists — an invariant violation or a telemetry-enabled
+	// mid-run abort — and nil when the run failed before producing one.
+	// cmd/sweep uses it to dump flight-recorder tails; cmd/sweepd will
+	// use it to stream failures off workers.
+	OnFailure func(r RunSummary, res *Result)
 	// Keep retains the full Result of every run in SweepResult.Results.
 	Keep bool
 	// ValidateInvariants turns every run into a self-checking one: the
@@ -690,6 +703,10 @@ type Sweep struct {
 	// and any violation is recorded as that run's Err, failing the cell
 	// without aborting the sweep.
 	ValidateInvariants bool
+	// Telemetry enables Options.Telemetry on every run and accumulates
+	// the per-run snapshots into SweepResult.Telemetry (online — it works
+	// without Keep). Observation-only: run hashes are unchanged.
+	Telemetry bool
 }
 
 // Run expands the grid and executes every point. Individual run failures
@@ -701,8 +718,8 @@ func (s *Sweep) Run(g *Grid) (*SweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	runs, results := s.execute(specs)
-	res := &SweepResult{Runs: runs, Results: results}
+	runs, results, rollup := s.execute(specs)
+	res := &SweepResult{Runs: runs, Results: results, Telemetry: rollup}
 	res.aggregate()
 	return res, nil
 }
@@ -711,7 +728,7 @@ func (s *Sweep) Run(g *Grid) (*SweepResult, error) {
 // is set, full Results) land at their slice position — which equals the
 // grid index for a full sweep but not for a shard, where specs is a
 // filtered subset that keeps the global RunSpec.Index labels.
-func (s *Sweep) execute(specs []RunSpec) ([]RunSummary, []*Result) {
+func (s *Sweep) execute(specs []RunSpec) ([]RunSummary, []*Result, *telemetry.Rollup) {
 	workers := s.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -724,6 +741,10 @@ func (s *Sweep) execute(specs []RunSpec) ([]RunSummary, []*Result) {
 	var results []*Result
 	if s.Keep {
 		results = make([]*Result, len(specs))
+	}
+	var rollup *telemetry.Rollup
+	if s.Telemetry {
+		rollup = &telemetry.Rollup{}
 	}
 
 	var (
@@ -741,15 +762,30 @@ func (s *Sweep) execute(specs []RunSpec) ([]RunSummary, []*Result) {
 				if s.ValidateInvariants {
 					spec.Options.ValidateInvariants = true
 				}
+				if s.Telemetry {
+					spec.Options.Telemetry = true
+				}
 				summary, full := runSpec(spec)
 				runs[i] = summary
 				if s.Keep {
 					results[i] = full
 				}
-				if s.OnResult != nil {
+				// The rollup and both hooks share one lock: sums and maxima
+				// commute, so the rollup is order-independent, and the hooks
+				// are guaranteed never to run concurrently with a monotone
+				// done count.
+				if rollup != nil || s.OnResult != nil || s.OnFailure != nil {
 					mu.Lock()
 					done++
-					s.OnResult(done, len(specs), summary)
+					if rollup != nil && full != nil {
+						rollup.Add(full.Telemetry)
+					}
+					if s.OnFailure != nil && summary.Err != "" {
+						s.OnFailure(summary, full)
+					}
+					if s.OnResult != nil {
+						s.OnResult(done, len(specs), summary)
+					}
 					mu.Unlock()
 				}
 			}
@@ -760,7 +796,7 @@ func (s *Sweep) execute(specs []RunSpec) ([]RunSummary, []*Result) {
 	}
 	close(jobs)
 	wg.Wait()
-	return runs, results
+	return runs, results, rollup
 }
 
 // runSpec executes one grid point on a freshly built network (Run mutates
@@ -788,7 +824,9 @@ func runSpec(spec RunSpec) (RunSummary, *Result) {
 	r, err := Run(nw, spec.Options)
 	if err != nil {
 		summary.Err = err.Error()
-		return summary, nil
+		// With telemetry on, a mid-run abort still yields a partial
+		// result carrying the flight-recorder tail.
+		return summary, r
 	}
 	if len(r.Invariants) > 0 {
 		summary.Err = "invariants violated: " + strings.Join(r.Invariants, "; ")

@@ -1,0 +1,269 @@
+package mptcpsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTelemetryHashNeutral is the library half of the issue's headline
+// property: a run with telemetry enabled is bit-identical to one without
+// (canonical hash and all), while producing a populated snapshot and a
+// dumpable flight-recorder tail.
+func TestTelemetryHashNeutral(t *testing.T) {
+	opts := Options{Duration: 200 * time.Millisecond, Seed: 7}
+	plain, err := RunPaper(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Telemetry = true
+	tele, err := RunPaper(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph, th := plain.Hash(), tele.Hash(); ph != th {
+		t.Fatalf("telemetry changed the run: hash %.12s != %.12s", th, ph)
+	}
+	if plain.Telemetry != nil || plain.FlightEvents() != 0 {
+		t.Fatal("telemetry-off run carries a snapshot or flight events")
+	}
+	if err := plain.WriteFlightRecorder(io.Discard); err == nil {
+		t.Fatal("telemetry-off run dumped a flight recorder")
+	}
+
+	snap := tele.Telemetry
+	if snap == nil {
+		t.Fatal("telemetry-on run has no snapshot")
+	}
+	if snap.Sim.EventsFired == 0 || snap.Sim.EventsFired != tele.LoopEvents {
+		t.Fatalf("sim counters: fired=%d, want the run's LoopEvents %d",
+			snap.Sim.EventsFired, tele.LoopEvents)
+	}
+	if snap.Sim.EventsScheduled < snap.Sim.EventsFired {
+		t.Fatalf("scheduled %d < fired %d", snap.Sim.EventsScheduled, snap.Sim.EventsFired)
+	}
+	if snap.Sim.HeapPeak == 0 || snap.Sim.InUsePeak == 0 {
+		t.Fatalf("high-water marks empty: %+v", snap.Sim)
+	}
+	if len(snap.Links) == 0 {
+		t.Fatal("no link counters")
+	}
+	var tx uint64
+	for _, l := range snap.Links {
+		if l.Name == "" {
+			t.Fatalf("unnamed link counter: %+v", l)
+		}
+		tx += l.TxPackets
+	}
+	if tx == 0 {
+		t.Fatal("no transmissions counted across links")
+	}
+	if len(snap.Subflows) != 3 {
+		t.Fatalf("%d subflow counters, want 3 (paper network)", len(snap.Subflows))
+	}
+	var picks uint64
+	for _, sf := range snap.Subflows {
+		picks += sf.SchedPicks
+		if sf.CwndPeakBytes <= 0 {
+			t.Fatalf("subflow %d has no cwnd peak: %+v", sf.Path, sf)
+		}
+	}
+	if picks == 0 {
+		t.Fatal("no scheduler picks counted")
+	}
+	if snap.FlightEvents <= 0 || uint64(snap.FlightEvents) > snap.FlightTotal {
+		t.Fatalf("flight accounting: retained %d of %d", snap.FlightEvents, snap.FlightTotal)
+	}
+
+	var buf bytes.Buffer
+	if err := tele.WriteFlightRecorder(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != snap.FlightEvents {
+		t.Fatalf("dump has %d lines, snapshot says %d retained", len(lines), snap.FlightEvents)
+	}
+	var first struct {
+		Seq  uint64 `json:"seq"`
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("dump line 0: %v", err)
+	}
+	if want := snap.FlightTotal - uint64(snap.FlightEvents); first.Seq != want {
+		t.Fatalf("dump starts at seq %d, want %d", first.Seq, want)
+	}
+}
+
+// sweepGrid is the shared workload of the sweep-telemetry tests.
+func sweepGrid() *Grid {
+	return &Grid{
+		CCs:        []string{"cubic", "olia"},
+		Orders:     [][]int{{2, 1, 3}},
+		Seeds:      []int64{1, 2},
+		DurationMs: 200,
+	}
+}
+
+// TestSweepTelemetryRollup checks the sweep-level aggregation: the rollup
+// counts every run, is identical across worker counts, and enabling it
+// changes nothing about the run summaries.
+func TestSweepTelemetryRollup(t *testing.T) {
+	res8, err := (&Sweep{Workers: 8, Telemetry: true}).Run(sweepGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	roll := res8.Telemetry
+	if roll == nil {
+		t.Fatal("telemetry sweep produced no rollup")
+	}
+	if roll.Runs != uint64(len(res8.Runs)) {
+		t.Fatalf("rollup covers %d of %d runs", roll.Runs, len(res8.Runs))
+	}
+	if roll.EventsFired == 0 || roll.TxPackets == 0 || roll.SchedPicks == 0 || roll.HeapPeak == 0 {
+		t.Fatalf("rollup has empty counters: %+v", roll)
+	}
+
+	res1, err := (&Sweep{Workers: 1, Telemetry: true}).Run(sweepGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res1.Telemetry, roll) {
+		t.Fatalf("rollup depends on worker count:\nw1: %+v\nw8: %+v", res1.Telemetry, roll)
+	}
+
+	plain, err := (&Sweep{Workers: 4}).Run(sweepGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Telemetry != nil {
+		t.Fatal("telemetry-off sweep produced a rollup")
+	}
+	got, err := json.Marshal(res8.Runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(plain.Runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("telemetry changed the run summaries")
+	}
+}
+
+// TestSweepHooksSerialised locks the OnResult/OnFailure contract the
+// progress meter and flight dumps build on: callbacks never run
+// concurrently, done increments by exactly one per call, and every run is
+// reported.
+func TestSweepHooksSerialised(t *testing.T) {
+	var inHook int32
+	prevDone := 0
+	seen := make(map[int]bool)
+	s := &Sweep{
+		Workers:   8,
+		Telemetry: true,
+		OnResult: func(done, total int, r RunSummary) {
+			if !atomic.CompareAndSwapInt32(&inHook, 0, 1) {
+				t.Error("OnResult ran concurrently with another hook")
+			}
+			if done != prevDone+1 {
+				t.Errorf("done jumped from %d to %d", prevDone, done)
+			}
+			prevDone = done
+			if total != 4 {
+				t.Errorf("total = %d, want 4", total)
+			}
+			if seen[r.Index] {
+				t.Errorf("run %d reported twice", r.Index)
+			}
+			seen[r.Index] = true
+			time.Sleep(time.Millisecond) // widen any race window
+			atomic.StoreInt32(&inHook, 0)
+		},
+		OnFailure: func(r RunSummary, res *Result) {
+			t.Errorf("OnFailure for passing run %d: %s", r.Index, r.Err)
+		},
+	}
+	if _, err := s.Run(sweepGrid()); err != nil {
+		t.Fatal(err)
+	}
+	if prevDone != 4 || len(seen) != 4 {
+		t.Fatalf("hooks saw %d completions over %d runs, want 4/4", prevDone, len(seen))
+	}
+}
+
+// TestSweepOnFailureFlightTail drives runs into a mid-run abort (tiny
+// event limit) and checks OnFailure hands over a partial result whose
+// flight-recorder tail is dumpable — and hands nil when telemetry is off.
+func TestSweepOnFailureFlightTail(t *testing.T) {
+	grid := sweepGrid()
+	grid.Base.EventLimit = 5000
+
+	failures := 0
+	s := &Sweep{
+		Workers:   4,
+		Telemetry: true,
+		OnFailure: func(r RunSummary, res *Result) {
+			failures++
+			if r.Err == "" {
+				t.Errorf("OnFailure for run %d without an error", r.Index)
+			}
+			if res == nil {
+				t.Fatalf("run %d failed with telemetry on but no partial result", r.Index)
+			}
+			if res.FlightEvents() == 0 {
+				t.Fatalf("run %d partial result has no flight tail", r.Index)
+			}
+			var buf bytes.Buffer
+			if err := res.WriteFlightRecorder(&buf); err != nil {
+				t.Fatal(err)
+			}
+			line := buf.String()[strings.LastIndex(strings.TrimRight(buf.String(), "\n"), "\n")+1:]
+			var tail struct {
+				Kind  string `json:"kind"`
+				Where string `json:"where"`
+			}
+			if err := json.Unmarshal([]byte(line), &tail); err != nil {
+				t.Fatalf("flight tail line: %v: %s", err, line)
+			}
+			if tail.Kind == "" || tail.Where == "" {
+				t.Fatalf("flight tail does not name the event/location: %s", line)
+			}
+		},
+	}
+	res, err := s.Run(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != len(res.Runs) || res.Errs() != len(res.Runs) {
+		t.Fatalf("%d failures over %d runs, want every run aborted by the event limit",
+			failures, len(res.Runs))
+	}
+	// Aborted runs produce no snapshot, so the rollup stays empty rather
+	// than mixing partial counts.
+	if res.Telemetry == nil || res.Telemetry.Runs != 0 {
+		t.Fatalf("rollup over aborted runs = %+v, want 0 runs", res.Telemetry)
+	}
+
+	// Without telemetry there is no recorder: OnFailure still fires, with a
+	// nil result.
+	gotNil := 0
+	s = &Sweep{Workers: 2, OnFailure: func(r RunSummary, res *Result) {
+		if res != nil {
+			t.Errorf("run %d: partial result without telemetry", r.Index)
+		}
+		gotNil++
+	}}
+	if _, err := s.Run(grid); err != nil {
+		t.Fatal(err)
+	}
+	if gotNil == 0 {
+		t.Fatal("OnFailure never fired without telemetry")
+	}
+}
