@@ -56,6 +56,11 @@ type report struct {
 	// machine-independent, so a jump means scheduling started allocating
 	// again, not that the runner was busy.
 	AllocsPerRun float64 `json:"allocs_per_run"`
+	// BytesPerRun is the heap bytes allocated per run (TotalAlloc delta
+	// over the sweep / runs). It complements AllocsPerRun: the arena can
+	// keep the object count flat while individual allocations grow, and
+	// this catches that.
+	BytesPerRun float64 `json:"bytes_per_run"`
 }
 
 // benchmarks lists the reference workloads: the static sweep isolates the
@@ -101,7 +106,7 @@ func benchGrid(seeds int, events mptcpsim.EventSet) *mptcpsim.Grid {
 }
 
 // buildReport derives one benchmark's report from a finished sweep.
-func buildReport(name string, res *mptcpsim.SweepResult, grid *mptcpsim.Grid, workers int, wall float64, allocs uint64) report {
+func buildReport(name string, res *mptcpsim.SweepResult, grid *mptcpsim.Grid, workers int, wall float64, allocs, heapBytes uint64) report {
 	return report{
 		Name:          name,
 		Workers:       workers,
@@ -113,6 +118,7 @@ func buildReport(name string, res *mptcpsim.SweepResult, grid *mptcpsim.Grid, wo
 			(grid.DurationMs / 1000) / wall,
 		MeanGapPct:   res.Gap.Mean * 100,
 		AllocsPerRun: float64(allocs) / float64(len(res.Runs)),
+		BytesPerRun:  float64(heapBytes) / float64(len(res.Runs)),
 	}
 }
 
@@ -121,6 +127,11 @@ func buildReport(name string, res *mptcpsim.SweepResult, grid *mptcpsim.Grid, wo
 // worth ~10x, so a real regression blows far past this), while run-to-run
 // noise in the process-wide counter stays well under it.
 const maxAllocGrowth = 0.50
+
+// maxBytesGrowth budgets heap bytes per run the same way: the arena keeps
+// steady-state transit off the heap entirely, so a >50% byte jump means
+// packets or segments are being heap-built again.
+const maxBytesGrowth = 0.50
 
 // compareArtifacts applies the regression gate: every benchmark present
 // in both artifacts must keep at least (1 - maxDrop) of its previous
@@ -164,10 +175,20 @@ func compareArtifacts(fresh, prev artifact, maxDrop float64, w io.Writer) error 
 				failed = append(failed, b.Name+" (allocs/run)")
 			}
 		}
+		// And the byte half, with the same absent/zero-baseline escape
+		// hatch for artifacts predating the bytes_per_run field.
+		if p.BytesPerRun > 0 && b.BytesPerRun > 0 {
+			growth := b.BytesPerRun/p.BytesPerRun - 1
+			fmt.Fprintf(w, "benchsweep: %s: %.0f -> %.0f bytes/run (%+.1f%%)\n",
+				b.Name, p.BytesPerRun, b.BytesPerRun, growth*100)
+			if growth > maxBytesGrowth {
+				failed = append(failed, b.Name+" (bytes/run)")
+			}
+		}
 	}
 	if len(failed) > 0 {
-		return fmt.Errorf("benchmark(s) %v regressed (>%.0f%% runs/s drop or >%.0f%% allocs/run growth; prev commit %s, go %s)",
-			failed, maxDrop*100, maxAllocGrowth*100, orUnknown(prev.Commit), orUnknown(prev.GoVersion))
+		return fmt.Errorf("benchmark(s) %v regressed (>%.0f%% runs/s drop, >%.0f%% allocs/run or >%.0f%% bytes/run growth; prev commit %s, go %s)",
+			failed, maxDrop*100, maxAllocGrowth*100, maxBytesGrowth*100, orUnknown(prev.Commit), orUnknown(prev.GoVersion))
 	}
 	return nil
 }
@@ -250,7 +271,8 @@ func main() {
 			}
 			wall := time.Since(start).Seconds()
 			runtime.ReadMemStats(&after)
-			r := buildReport(b.name, res, grid, *workers, wall, after.Mallocs-before.Mallocs)
+			r := buildReport(b.name, res, grid, *workers, wall,
+				after.Mallocs-before.Mallocs, after.TotalAlloc-before.TotalAlloc)
 			if i == 0 || r.WallSeconds < best.WallSeconds {
 				best = r
 			}

@@ -38,7 +38,7 @@ func TestArtifactSchema(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		r := buildReport(b.name, res, grid, 4, 2.0, 4000)
+		r := buildReport(b.name, res, grid, 4, 2.0, 4000, 400000)
 		if r.Runs != 4 || r.Errors != 0 {
 			t.Fatalf("%s: runs=%d errors=%d, want 4/0", b.name, r.Runs, r.Errors)
 		}
@@ -47,6 +47,9 @@ func TestArtifactSchema(t *testing.T) {
 		}
 		if r.AllocsPerRun != 1000 {
 			t.Fatalf("%s: allocs/run = %v, want 1000", b.name, r.AllocsPerRun)
+		}
+		if r.BytesPerRun != 100000 {
+			t.Fatalf("%s: bytes/run = %v, want 100000", b.name, r.BytesPerRun)
 		}
 		if r.MeanGapPct <= 0 || r.MeanGapPct >= 100 {
 			t.Fatalf("%s: mean gap %.2f%% implausible", b.name, r.MeanGapPct)
@@ -77,7 +80,7 @@ func TestArtifactSchema(t *testing.T) {
 	}
 	for _, key := range []string{"name", "workers", "runs", "errors",
 		"wall_seconds", "runs_per_second", "sim_seconds_per_second",
-		"mean_gap_pct", "allocs_per_run"} {
+		"mean_gap_pct", "allocs_per_run", "bytes_per_run"} {
 		if _, ok := bench[key]; !ok {
 			t.Errorf("benchmark entry lost field %q", key)
 		}
@@ -145,6 +148,38 @@ func TestCompareArtifactsAllocGate(t *testing.T) {
 	// Pre-allocs-field artifacts (zero baseline) skip the alloc half.
 	if err := compareArtifacts(artA(10, 99999), artA(10, 0), 0.20, &out); err != nil {
 		t.Fatalf("missing alloc baseline failed the gate: %v", err)
+	}
+}
+
+// artB builds a single-benchmark artifact with a bytes/run gate input.
+func artB(rps, bytesPerRun float64) artifact {
+	return artifact{Commit: "c0ffee", GoVersion: "go1.24", Benchmarks: []report{
+		{Name: "sweep_static", RunsPerSecond: rps, BytesPerRun: bytesPerRun},
+	}}
+}
+
+func TestCompareArtifactsBytesGate(t *testing.T) {
+	var out bytes.Buffer
+	// Byte bills within the 50% budget (and improvements) pass.
+	if err := compareArtifacts(artB(10, 1.4e6), artB(10, 1e6), 0.20, &out); err != nil {
+		t.Fatalf("40%% byte growth failed the 50%% gate: %v", err)
+	}
+	if err := compareArtifacts(artB(10, 1e5), artB(10, 1e6), 0.20, &out); err != nil {
+		t.Fatalf("byte improvement failed the gate: %v", err)
+	}
+	// A >50% bytes/run jump fails and names the benchmark.
+	err := compareArtifacts(artB(10, 1.6e6), artB(10, 1e6), 0.20, &out)
+	if err == nil || !strings.Contains(err.Error(), "sweep_static (bytes/run)") {
+		t.Fatalf("60%% byte growth passed or unnamed: %v", err)
+	}
+	// Pre-bytes-field artifacts (zero baseline) skip the byte half: the
+	// gate needs a trajectory before it can gate.
+	if err := compareArtifacts(artB(10, 99999), artB(10, 0), 0.20, &out); err != nil {
+		t.Fatalf("missing byte baseline failed the gate: %v", err)
+	}
+	// A fresh zero (corrupt or not measured) cannot trip the gate either.
+	if err := compareArtifacts(artB(10, 0), artB(10, 1e6), 0.20, &out); err != nil {
+		t.Fatalf("zero fresh bytes failed the gate: %v", err)
 	}
 }
 

@@ -44,7 +44,9 @@ type Sniffer struct {
 	// (goodput). The paper measures wire throughput at the receiver.
 	CountWire bool
 
-	bins    map[packet.Tag][]float64
+	// bins is indexed by tag (a byte), dense so the per-packet count is
+	// an array index, not a map probe.
+	bins    [256][]float64
 	records []Record
 	total   uint64
 }
@@ -58,7 +60,6 @@ func NewSniffer(n *netem.Network, node topo.NodeID, step time.Duration) *Sniffer
 		node:      node,
 		step:      step,
 		CountWire: true,
-		bins:      make(map[packet.Tag][]float64),
 	}
 	n.AttachTap(s)
 	return s
@@ -125,13 +126,8 @@ func (s *Sniffer) Series(tag packet.Tag, name string, until time.Duration) *trac
 func (s *Sniffer) Tags() []packet.Tag {
 	var tags []packet.Tag
 	for t := range s.bins {
-		tags = append(tags, t)
-	}
-	for i := 0; i < len(tags); i++ {
-		for j := i + 1; j < len(tags); j++ {
-			if tags[j] < tags[i] {
-				tags[i], tags[j] = tags[j], tags[i]
-			}
+		if s.bins[t] != nil {
+			tags = append(tags, packet.Tag(t))
 		}
 	}
 	return tags

@@ -121,6 +121,56 @@ func (o *OLIA) alphas() map[*Flow]float64 {
 	return out
 }
 
+// alphaFor returns alphas()[f] without materialising the map: OnAck runs
+// on every ACK and needs only the caller's own alpha, so the membership
+// sets are counted instead of collected. The arithmetic is exactly the
+// map version's — same expressions, same operand order.
+func (o *OLIA) alphaFor(f *Flow) float64 {
+	n := len(o.flows)
+	if n == 0 {
+		return 0
+	}
+	const tol = 1.0001
+	var maxW, maxQ float64
+	for _, g := range o.flows {
+		if g.Cwnd > maxW {
+			maxW = g.Cwnd
+		}
+		l := interLoss(g)
+		if q := l * l / math.Max(g.Cwnd, 1); q > maxQ {
+			maxQ = q
+		}
+	}
+	nM, nColl := 0, 0
+	fInM, fInColl := false, false
+	for _, g := range o.flows {
+		inM := g.Cwnd*tol >= maxW
+		l := interLoss(g)
+		inB := (l*l/math.Max(g.Cwnd, 1))*tol >= maxQ
+		if inB && !inM {
+			nColl++
+			if g == f {
+				fInColl = true
+			}
+		}
+		if inM {
+			nM++
+			if g == f {
+				fInM = true
+			}
+		}
+	}
+	switch {
+	case nColl == 0:
+		return 0
+	case fInColl:
+		return 1 / (float64(n) * float64(nColl))
+	case fInM:
+		return -1 / (float64(n) * float64(nM))
+	}
+	return 0
+}
+
 // OnAck implements Algorithm.
 func (o *OLIA) OnAck(f *Flow, acked int, _ sim.Time) {
 	oliaStateOf(f).l1 += float64(acked)
@@ -140,7 +190,7 @@ func (o *OLIA) OnAck(f *Flow, acked int, _ sim.Time) {
 	wr := f.wPkts()
 	rtt := f.rtt()
 	term1 := (wr / (rtt * rtt)) / (denom * denom)
-	alpha := o.alphas()[f]
+	alpha := o.alphaFor(f)
 	incPkts := term1 + alpha/wr
 	delta := incPkts * float64(acked)
 	f.Cwnd += delta

@@ -221,20 +221,46 @@ func PropFairCaps(g *topo.Graph, paths []topo.Path, caps Caps, iters int) []floa
 	if len(live) == 0 {
 		return x
 	}
+	// Densify the link state into compact arrays before iterating: the
+	// descent runs hundreds of thousands of sweeps, and map access in the
+	// inner loops dominates the solve. The numbers are bit-identical to
+	// the map-based version — per-path price sums keep the path's link
+	// order, per-link load sums keep PathsByLink's user order, and the
+	// dual updates are independent across links, so their visit order
+	// (the only thing that changes) never touches the arithmetic.
 	users := topo.PathsByLink(live)
-	price := make(map[topo.LinkID]float64, len(users))
-	cap := make(map[topo.LinkID]float64, len(users))
+	lids := make([]topo.LinkID, 0, len(users))
 	for lid := range users {
-		cap[lid] = caps.of(g, lid)
-		price[lid] = 1 / cap[lid]
+		lids = append(lids, lid)
+	}
+	sort.Slice(lids, func(a, b int) bool { return lids[a] < lids[b] })
+	idx := make(map[topo.LinkID]int, len(lids))
+	for i, lid := range lids {
+		idx[lid] = i
+	}
+	price := make([]float64, len(lids))
+	capv := make([]float64, len(lids))
+	usersv := make([][]int, len(lids))
+	for i, lid := range lids {
+		capv[i] = caps.of(g, lid)
+		price[i] = 1 / capv[i]
+		usersv[i] = users[lid]
+	}
+	pathLinks := make([][]int, len(live))
+	for i, p := range live {
+		pl := make([]int, len(p.Links))
+		for j, lid := range p.Links {
+			pl[j] = idx[lid]
+		}
+		pathLinks[i] = pl
 	}
 	xl := make([]float64, len(live))
 	for it := 0; it < iters; it++ {
 		// Primal: x_i = 1 / (sum of prices along the path).
-		for i, p := range live {
+		for i, pl := range pathLinks {
 			var sum float64
-			for _, lid := range p.Links {
-				sum += price[lid]
+			for _, li := range pl {
+				sum += price[li]
 			}
 			if sum <= 0 {
 				sum = 1e-12
@@ -243,14 +269,14 @@ func PropFairCaps(g *topo.Graph, paths []topo.Path, caps Caps, iters int) []floa
 		}
 		// Dual: price goes up where demand exceeds capacity.
 		step := 1e-4
-		for lid, us := range users {
+		for li, us := range usersv {
 			var load float64
 			for _, pi := range us {
 				load += xl[pi]
 			}
-			price[lid] += step * (load - cap[lid]) / cap[lid]
-			if price[lid] < 1e-9 {
-				price[lid] = 1e-9
+			price[li] += step * (load - capv[li]) / capv[li]
+			if price[li] < 1e-9 {
+				price[li] = 1e-9
 			}
 		}
 	}

@@ -82,6 +82,11 @@ type Subflow struct {
 	Picks uint64
 	// assigned counts DSN bytes mapped onto this subflow (sender side).
 	assigned uint64
+	// dssBuf is the scratch mapping handed to the TCP sender on each
+	// grant. The sender copies it into the outgoing packet and its
+	// retransmit queue within the same grant, before the next Next call
+	// overwrites it, so one buffer per subflow suffices.
+	dssBuf packet.DSS
 	// redundantCursor is this subflow's private DSN cursor under the
 	// redundant scheduler.
 	redundantCursor uint64
@@ -244,11 +249,11 @@ func (s *sfSource) Next(max int) (int, *packet.DSS) {
 	if n <= 0 {
 		return 0, nil
 	}
-	dss := &packet.DSS{HasMap: true, DSN: c.dsnNext, DataLen: uint16(n)}
+	s.sf.dssBuf = packet.DSS{HasMap: true, DSN: c.dsnNext, DataLen: uint16(n)}
 	c.dsnNext += uint64(n)
 	s.sf.assigned += uint64(n)
 	s.sf.Picks++
-	return n, dss
+	return n, &s.sf.dssBuf
 }
 
 // nopSink ignores reverse-direction data on sender-side subflows (the

@@ -93,14 +93,17 @@ func (rc *RecvConn) insert(dsn uint64, n int) {
 	rc.ooo[i] = dchunk{dsn: dsn, n: n}
 }
 
-// drain delivers contiguous chunks at dsnExpected.
+// drain delivers contiguous chunks at dsnExpected. Drained chunks are
+// compacted off the front afterwards (instead of re-slicing per chunk)
+// so the queue keeps its capacity and insert's append stays in place.
 func (rc *RecvConn) drain() {
-	for len(rc.ooo) > 0 {
-		c := rc.ooo[0]
+	n := 0
+	for n < len(rc.ooo) {
+		c := rc.ooo[n]
 		if c.dsn > rc.dsnExpected {
-			return
+			break
 		}
-		rc.ooo = rc.ooo[1:]
+		n++
 		end := c.dsn + uint64(c.n)
 		if end <= rc.dsnExpected {
 			rc.DupBytes += uint64(c.n)
@@ -115,6 +118,9 @@ func (rc *RecvConn) drain() {
 		if rc.OnDeliver != nil {
 			rc.OnDeliver(fresh)
 		}
+	}
+	if n > 0 {
+		rc.ooo = rc.ooo[:copy(rc.ooo, rc.ooo[n:])]
 	}
 }
 

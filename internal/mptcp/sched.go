@@ -114,8 +114,8 @@ func (r *Redundant) nextFor(sf *Subflow, max int) (int, *packet.DSS) {
 		}
 		c.dsnNext += uint64(n)
 	}
-	dss := &packet.DSS{HasMap: true, DSN: sf.redundantCursor, DataLen: uint16(n)}
+	sf.dssBuf = packet.DSS{HasMap: true, DSN: sf.redundantCursor, DataLen: uint16(n)}
 	sf.redundantCursor += uint64(n)
 	sf.assigned += uint64(n)
-	return n, dss
+	return n, &sf.dssBuf
 }

@@ -62,6 +62,9 @@ func (c *LinkCounters) DropTotal() uint64 {
 type Link struct {
 	net  *Network
 	Spec topo.Link
+	// name is the "v1->v2" label, rendered once at construction so the
+	// drop path (which reports it per packet) stays allocation-free.
+	name string
 
 	// capBytes is the queue capacity actually in force.
 	capBytes unit.ByteSize
@@ -85,6 +88,14 @@ type Link struct {
 	inflHead int
 	txDone   txDoneCallback
 	arrive   arriveCallback
+
+	// memoSize/memoRate/memoTx memoise the last TxTime computation:
+	// traffic on a link is overwhelmingly one or two packet sizes, and the
+	// cached value is the exact duration the division produced, so reuse
+	// is bit-identical.
+	memoSize unit.ByteSize
+	memoRate unit.Rate
+	memoTx   time.Duration
 
 	// down marks the link administratively dead (dynamic LinkDown event).
 	down bool
@@ -117,6 +128,7 @@ func newLink(n *Network, spec topo.Link) *Link {
 		aqm:      DropTail{},
 		Counters: LinkCounters{Drops: make(map[DropReason]uint64)},
 	}
+	l.name = fmt.Sprintf("%s->%s", n.Graph.Node(spec.From).Name, n.Graph.Node(spec.To).Name)
 	l.txDone.l = l
 	l.arrive.l = l
 	return l
@@ -140,9 +152,7 @@ type arriveCallback struct{ l *Link }
 func (c *arriveCallback) Run(sim.Time) { c.l.arrival() }
 
 // Name renders "v1->v2" for stats and drop reporting.
-func (l *Link) Name() string {
-	return fmt.Sprintf("%s->%s", l.net.Graph.Node(l.Spec.From).Name, l.net.Graph.Node(l.Spec.To).Name)
-}
+func (l *Link) Name() string { return l.name }
 
 // QueueCap returns the queue capacity in force (after defaulting).
 func (l *Link) QueueCap() unit.ByteSize { return l.capBytes }
@@ -303,9 +313,14 @@ func (l *Link) startTx() {
 	}
 	l.transmitting = true
 	pkt := l.pop()
-	l.queuedBytes -= pkt.Size()
+	sz := pkt.Size()
+	l.queuedBytes -= sz
 	l.txPkt = pkt
-	l.txTime = l.Spec.Rate.TxTime(pkt.Size())
+	if sz != l.memoSize || l.Spec.Rate != l.memoRate {
+		l.memoSize, l.memoRate = sz, l.Spec.Rate
+		l.memoTx = l.Spec.Rate.TxTime(sz)
+	}
+	l.txTime = l.memoTx
 	l.net.Loop.ScheduleCall(l.txTime, &l.txDone)
 }
 

@@ -132,7 +132,11 @@ type Network struct {
 	links    []*Link
 	addr2nod map[packet.Addr]topo.NodeID
 	nod2addr map[topo.NodeID]packet.Addr
-	taps     []Tap
+	// addrNodes mirrors addr2nod as a dense slice: addresses are handed
+	// out sequentially from the 10.0.0.0 base, so the per-hop owner
+	// lookup in receive is an index, not a map probe.
+	addrNodes []topo.NodeID
+	taps      []Tap
 	// sendTaps and arrivalTaps hold the subset of taps implementing the
 	// optional extension interfaces, resolved once at AttachTap.
 	sendTaps    []SendTap
@@ -142,6 +146,11 @@ type Network struct {
 	propagating int
 	nextUID     uint64
 	nextIP      uint32
+
+	// arena recycles packets and their transport storage across the run.
+	// Packets drawn from it are returned at their terminal event: after
+	// the local handler consumed a delivery, or after the drop taps ran.
+	arena packet.Arena
 }
 
 // New animates graph g with the given router on loop l.
@@ -199,6 +208,7 @@ func (n *Network) AssignAddr(node topo.NodeID) packet.Addr {
 	a := packet.Addr(n.nextIP)
 	n.nod2addr[node] = a
 	n.addr2nod[a] = node
+	n.addrNodes = append(n.addrNodes, node)
 	return a
 }
 
@@ -210,9 +220,18 @@ func (n *Network) AddrOf(node topo.NodeID) (packet.Addr, bool) {
 
 // NodeOf returns the node owning an address.
 func (n *Network) NodeOf(a packet.Addr) (topo.NodeID, bool) {
-	id, ok := n.addr2nod[a]
-	return id, ok
+	i := uint32(a) - uint32(packet.MakeAddr(10, 0, 0, 0)) - 1
+	if i < uint32(len(n.addrNodes)) {
+		return n.addrNodes[i], true
+	}
+	return 0, false
 }
+
+// Arena returns the network's packet arena. Transport stacks and traffic
+// sources draw send buffers from it; the engine recycles them when the
+// packet dies (delivery or drop), so senders must not touch a packet
+// after Send returns.
+func (n *Network) Arena() *packet.Arena { return &n.arena }
 
 // Node returns the runtime node for an ID.
 func (n *Network) Node(id topo.NodeID) *Node { return n.nodes[id] }
@@ -235,10 +254,14 @@ func (n *Network) tapDeliver(nd *Node, pkt *packet.Packet) {
 	}
 }
 
+// tapDrop is the single choke point every lost packet passes through
+// (queue overflow, AQM, no route, TTL, no handler, random loss, link
+// down). After the taps have observed the packet it is dead: recycle it.
 func (n *Network) tapDrop(where string, pkt *packet.Packet, reason DropReason) {
 	for _, t := range n.taps {
 		t.OnDrop(where, pkt, reason)
 	}
+	n.arena.Recycle(pkt)
 }
 
 func (n *Network) tapSend(nd *Node, pkt *packet.Packet) {
@@ -330,4 +353,8 @@ func (nd *Node) deliver(pkt *packet.Packet) {
 	nd.Delivered++
 	nd.net.tapDeliver(nd, pkt)
 	h.Deliver(pkt)
+	// The packet dies here: taps and the handler have run, and anything
+	// they keep is copied. Recycling after Deliver returns means packets
+	// the handler sends in response draw from other slots.
+	nd.net.arena.Recycle(pkt)
 }

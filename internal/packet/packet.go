@@ -141,10 +141,23 @@ type Packet struct {
 	PayloadLen int
 	// SentAt is the virtual time the packet left its source host.
 	SentAt sim.Time
+
+	// slot is the arena slot backing this packet, nil for packets built
+	// with composite literals. Arena.Recycle uses it to return the packet
+	// and its option storage to the owning arena's free list.
+	slot *slot
+	// wire caches Size: packets are immutable once sent, and the engine
+	// asks for the size at every queue and serialisation step.
+	wire int32
 }
 
-// Size returns the on-wire size of the packet in bytes.
+// Size returns the on-wire size of the packet in bytes. The first call
+// walks the headers and caches the result; packets must be treated as
+// immutable after being sent, so later calls just read the cache.
 func (p *Packet) Size() unit.ByteSize {
+	if p.wire != 0 {
+		return unit.ByteSize(p.wire)
+	}
 	n := IPv4HeaderLen
 	switch {
 	case p.TCP != nil:
@@ -152,7 +165,8 @@ func (p *Packet) Size() unit.ByteSize {
 	case p.UDP != nil:
 		n += UDPHeaderLen
 	}
-	return unit.ByteSize(n + p.PayloadLen)
+	p.wire = int32(n + p.PayloadLen)
+	return unit.ByteSize(p.wire)
 }
 
 // Flow returns the transport flow of the packet.

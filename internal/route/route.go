@@ -43,15 +43,38 @@ type tagKey struct {
 	tag packet.Tag
 }
 
-// TagTable is a per-(destination, tag) forwarding table.
+// TagTable is a per-(destination, tag) forwarding table. The per-node
+// tables live in a dense slice indexed by node ID — forwarding does one
+// map probe per hop, not two.
 type TagTable struct {
 	g    *topo.Graph
-	next map[topo.NodeID]map[tagKey]topo.LinkID
+	next []map[tagKey]topo.LinkID
+	// cache holds the last hit per node: consecutive packets at a node
+	// overwhelmingly share (dst, tag), so most hops skip the map probe.
+	// Table mutations reset it wholesale (routes are installed at setup).
+	cache []tagCacheEntry
+}
+
+type tagCacheEntry struct {
+	key   tagKey
+	lid   topo.LinkID
+	valid bool
 }
 
 // NewTagTable returns an empty tag-routing table over graph g.
 func NewTagTable(g *topo.Graph) *TagTable {
-	return &TagTable{g: g, next: make(map[topo.NodeID]map[tagKey]topo.LinkID)}
+	return &TagTable{
+		g:     g,
+		next:  make([]map[tagKey]topo.LinkID, g.NumNodes()),
+		cache: make([]tagCacheEntry, g.NumNodes()),
+	}
+}
+
+// invalidate clears the per-node lookup cache after a table mutation.
+func (t *TagTable) invalidate() {
+	for i := range t.cache {
+		t.cache[i] = tagCacheEntry{}
+	}
 }
 
 // AddPath installs forwarding entries so that packets for dst carrying tag
@@ -78,6 +101,7 @@ func (t *TagTable) AddPath(dst packet.Addr, tag packet.Tag, p topo.Path) error {
 		}
 		t.next[n][key] = lid
 	}
+	t.invalidate()
 	return nil
 }
 
@@ -98,18 +122,23 @@ func (t *TagTable) AddDefaultRoutes(dst packet.Addr, dstNode topo.NodeID, w topo
 			t.next[n.ID][key] = prev[n.ID]
 		}
 	}
+	t.invalidate()
 }
 
 // NextLink implements Router. Lookup is exact on (dst, tag); packets with
 // an unknown tag are not silently rerouted.
 func (t *TagTable) NextLink(n topo.NodeID, pkt *packet.Packet) (topo.LinkID, error) {
-	dst := pkt.IP.Dst
+	key := tagKey{dst: pkt.IP.Dst, tag: pkt.IP.Tag}
+	if ce := &t.cache[n]; ce.valid && ce.key == key {
+		return ce.lid, nil
+	}
 	if m := t.next[n]; m != nil {
-		if lid, ok := m[tagKey{dst: dst, tag: pkt.IP.Tag}]; ok {
+		if lid, ok := m[key]; ok {
+			t.cache[n] = tagCacheEntry{key: key, lid: lid, valid: true}
 			return lid, nil
 		}
 	}
-	return -1, &NoRouteError{Node: n, Dst: dst, Tag: pkt.IP.Tag}
+	return -1, &NoRouteError{Node: n, Dst: key.dst, Tag: key.tag}
 }
 
 // reverseShortest runs Dijkstra towards dst over reversed links, returning

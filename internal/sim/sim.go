@@ -76,13 +76,39 @@ type node struct {
 	fn  func()
 	cb  Callback
 	gen uint32
-	// pos is the node's index in the heap array, -1 once popped, stopped
-	// or free.
-	pos int32
 }
 
-// noPos marks a node that is not in the pending heap.
-const noPos = -1
+// entry is one pending-queue element, 16 bytes so four children of a
+// 4-ary heap node share one cache line. It carries the full sort key
+// inline — at, plus the scheduling seq packed above the node id — so heap
+// sifts compare within the (pointer-free) heap array instead of chasing
+// node indices into the arena; the comparison cache misses were the
+// kernel's dominant cost. The seq doubles as the staleness check: seqs
+// are never reused, so an entry whose seq no longer matches its node
+// names a stopped event (the node possibly reused) and is discarded when
+// it surfaces at the heap root. Lazy deletion makes Timer.Stop O(1), at
+// the price of dead entries lingering until they surface or a compaction
+// sweep removes them.
+type entry struct {
+	at     Time
+	packed uint64 // seq<<idBits | id
+}
+
+// idBits is the node-id width inside entry.packed: 16M pooled nodes and
+// 2^40 scheduled events per loop, both far beyond any simulation (alloc
+// enforces the limits). seq occupies the high bits, so for equal times
+// comparing packed compares seq — ids only differ when seqs do.
+const idBits = 24
+
+func mkEntry(at Time, seq uint64, id int32) entry {
+	return entry{at: at, packed: seq<<idBits | uint64(id)}
+}
+
+func (e entry) id() int32   { return int32(e.packed & (1<<idBits - 1)) }
+func (e entry) seq() uint64 { return e.packed >> idBits }
+
+// stale reports whether e no longer names a live scheduled event.
+func (e entry) stale(l *Loop) bool { return l.nodes[e.id()].seq != e.seq() }
 
 // Timer is a cancellable handle to a scheduled event. It is a small value
 // (not a pointer): creating one allocates nothing, and the zero value is
@@ -97,25 +123,29 @@ type Timer struct {
 }
 
 // live reports whether the handle still names the scheduled event: the
-// generation must match (the node was not recycled) and the node must be
-// in the pending heap.
+// generation must match, i.e. the node was not recycled. The node recycles
+// (and bumps gen) exactly when its event fires or is stopped, so a
+// matching generation means the event is still pending.
 func (t Timer) live() bool {
 	if t.loop == nil {
 		return false
 	}
-	n := &t.loop.nodes[t.id]
-	return n.gen == t.gen && n.pos != noPos
+	return t.loop.nodes[t.id].gen == t.gen
 }
 
 // Stop cancels the timer. It reports whether the callback was still
 // pending; it returns false if the callback already ran, the timer was
-// stopped, or the handle is the zero value.
+// stopped, or the handle is the zero value. Stop is O(1): it recycles the
+// node immediately (staling the heap entry, which is dropped when it
+// surfaces), so the arm/stop/re-arm cycle TCP performs on every ACK costs
+// no heap restructuring.
 func (t Timer) Stop() bool {
 	if !t.live() {
 		return false
 	}
-	t.loop.remove(t.id)
 	t.loop.release(t.id)
+	t.loop.dead++
+	t.loop.maybeCompact()
 	return true
 }
 
@@ -140,8 +170,17 @@ type Loop struct {
 	// nodes is the pooled event arena; free lists the recycled indices.
 	nodes []node
 	free  []int32
-	// heap is a 4-ary min-heap of node indices ordered by (at, seq).
-	heap    []int32
+	// heap is a 4-ary min-heap of entries ordered by (at, seq). Entries of
+	// stopped timers go stale in place and are dropped lazily; dead counts
+	// them so maybeCompact can bound the garbage.
+	heap []entry
+	dead int
+	// pending counts live scheduled events (Len), since len(heap) includes
+	// stale entries.
+	pending int
+	// batch holds the same-instant events popped together by RunUntil so
+	// they run back-to-back without interleaved heap pops.
+	batch   []entry
 	running bool
 	stopped bool
 
@@ -217,8 +256,14 @@ func (l *Loop) alloc(at Time, fn func(), cb Callback) int32 {
 		id = l.free[n-1]
 		l.free = l.free[:n-1]
 	} else {
+		if len(l.nodes) >= 1<<idBits {
+			panic("sim: event arena overflow (16M concurrently pending events)")
+		}
 		l.nodes = append(l.nodes, node{})
 		id = int32(len(l.nodes) - 1)
+	}
+	if l.seq >= 1<<(64-idBits) {
+		panic("sim: scheduling sequence overflow")
 	}
 	nd := &l.nodes[id]
 	nd.at = at
@@ -233,94 +278,99 @@ func (l *Loop) alloc(at Time, fn func(), cb Callback) int32 {
 }
 
 // release recycles a node: the generation bump invalidates every handle to
-// the old occupant, and clearing the callbacks drops their references.
+// the old occupant (and stales its heap entry), and clearing the callbacks
+// drops their references.
 func (l *Loop) release(id int32) {
 	nd := &l.nodes[id]
 	nd.gen++
 	nd.fn = nil
 	nd.cb = nil
-	nd.pos = noPos
+	// Invalidate the seq so the node's heap entry reads as stale while the
+	// node sits in the free list (alloc assigns the real seq on reuse);
+	// real seqs never reach this value (alloc guards the 2^40 ceiling).
+	nd.seq = math.MaxUint64
 	l.free = append(l.free, id)
+	l.pending--
 }
 
-// less orders nodes by (at, seq).
-func (l *Loop) less(a, b int32) bool {
-	na, nb := &l.nodes[a], &l.nodes[b]
-	if na.at != nb.at {
-		return na.at < nb.at
+// less orders entries by (at, seq).
+func less(a, b *entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return na.seq < nb.seq
+	return a.packed < b.packed
 }
 
-// push inserts a node id into the heap.
-func (l *Loop) push(id int32) {
-	l.heap = append(l.heap, id)
+// push inserts an entry into the heap.
+func (l *Loop) push(e entry) {
+	l.heap = append(l.heap, e)
 	if len(l.heap) > l.heapPeak {
 		l.heapPeak = len(l.heap)
 	}
-	pos := int32(len(l.heap) - 1)
-	l.nodes[id].pos = pos
-	l.up(pos)
+	l.up(len(l.heap) - 1)
 }
 
-// popMin removes and returns the heap's minimum node id.
+// peek discards stale entries off the heap root until a live one surfaces,
+// reporting whether any pending event remains.
+func (l *Loop) peek() bool {
+	for len(l.heap) > 0 {
+		if !l.heap[0].stale(l) {
+			return true
+		}
+		l.popRoot()
+		l.dropDead()
+	}
+	return false
+}
+
+// popMin removes and returns the heap's minimum live node id. The caller
+// must know the heap holds at least one live entry (peek reported true, or
+// Len is non-zero).
 func (l *Loop) popMin() int32 {
-	id := l.heap[0]
-	l.nodes[id].pos = noPos
+	for {
+		e := l.heap[0]
+		l.popRoot()
+		if !e.stale(l) {
+			return e.id()
+		}
+		l.dropDead()
+	}
+}
+
+// dropDead notes that a stale entry left the heap. The count is clamped:
+// Stop cannot tell whether the entry it stales sits in the heap or in the
+// executing batch, so dead can overcount; clamping keeps the compaction
+// heuristic sane (an overcount merely compacts a little early).
+func (l *Loop) dropDead() {
+	if l.dead > 0 {
+		l.dead--
+	}
+}
+
+// popRoot removes the root entry without inspecting it.
+func (l *Loop) popRoot() {
 	last := len(l.heap) - 1
 	if last > 0 {
-		moved := l.heap[last]
-		l.heap[0] = moved
-		l.nodes[moved].pos = 0
+		l.heap[0] = l.heap[last]
 	}
 	l.heap = l.heap[:last]
 	if last > 1 {
-		l.down(0)
-	}
-	return id
-}
-
-// remove deletes the node at an arbitrary heap position.
-func (l *Loop) remove(id int32) {
-	pos := l.nodes[id].pos
-	l.nodes[id].pos = noPos
-	last := int32(len(l.heap) - 1)
-	if pos != last {
-		moved := l.heap[last]
-		l.heap[pos] = moved
-		l.nodes[moved].pos = pos
-		l.heap = l.heap[:last]
-		// The moved node may order either way relative to the hole.
-		l.down(pos)
-		l.up(l.nodes[moved].pos)
-	} else {
-		l.heap = l.heap[:last]
+		l.downRoot()
 	}
 }
 
-// up restores the heap property from pos towards the root. The heap is
-// 4-ary: shallower than a binary heap (fewer cache lines touched per
-// operation on the large queues link serialisation builds), with the
-// wider sibling scan staying inside one cache line of int32 ids.
-func (l *Loop) up(pos int32) {
-	id := l.heap[pos]
-	for pos > 0 {
-		parent := (pos - 1) / 4
-		if !l.less(id, l.heap[parent]) {
-			break
-		}
-		l.heap[pos] = l.heap[parent]
-		l.nodes[l.heap[pos]].pos = pos
-		pos = parent
-	}
-	l.heap[pos] = id
-	l.nodes[id].pos = pos
-}
-
-// down restores the heap property from pos towards the leaves.
-func (l *Loop) down(pos int32) {
-	id := l.heap[pos]
-	n := int32(len(l.heap))
+// downRoot re-sinks the leaf just promoted to the root using Floyd's
+// bottom-up variant: descend the min-child path to a leaf without
+// comparing against the moving element (it came from the bottom, so it
+// almost always belongs back there), then sift it up to its true slot.
+// This trades the classic per-level child-vs-element comparison for a
+// usually-empty up phase. Heap layout can differ from the classic
+// sift-down, but pop order cannot: extraction order is fixed by the
+// total (at, seq) order of the contents, not by the array layout.
+func (l *Loop) downRoot() {
+	n := len(l.heap)
+	e := l.heap[0]
+	pos := 0
 	for {
 		first := 4*pos + 1
 		if first >= n {
@@ -332,19 +382,91 @@ func (l *Loop) down(pos int32) {
 			end = n
 		}
 		for c := first + 1; c < end; c++ {
-			if l.less(l.heap[c], l.heap[best]) {
+			if less(&l.heap[c], &l.heap[best]) {
 				best = c
 			}
 		}
-		if !l.less(l.heap[best], id) {
+		l.heap[pos] = l.heap[best]
+		pos = best
+	}
+	for pos > 0 {
+		parent := (pos - 1) / 4
+		if !less(&e, &l.heap[parent]) {
+			break
+		}
+		l.heap[pos] = l.heap[parent]
+		pos = parent
+	}
+	l.heap[pos] = e
+}
+
+// maybeCompact rebuilds the heap without its stale entries once they
+// outnumber the live ones. Filtering plus a bottom-up heapify is O(n),
+// paid at most once per n stops, so Stop stays amortised O(1) and the
+// array never holds more garbage than payload.
+func (l *Loop) maybeCompact() {
+	if l.dead*2 <= len(l.heap) || len(l.heap) < 64 {
+		return
+	}
+	live := l.heap[:0]
+	for _, e := range l.heap {
+		if !e.stale(l) {
+			live = append(live, e)
+		}
+	}
+	l.heap = live
+	if len(l.heap) > 1 {
+		for i := (len(l.heap) - 2) / 4; i >= 0; i-- {
+			l.down(i)
+		}
+	}
+	l.dead = 0
+}
+
+// up restores the heap property from pos towards the root. The heap is
+// 4-ary: shallower than a binary heap (fewer cache lines touched per
+// operation on the large queues link serialisation builds), and the
+// entries carry their sort keys inline, so sifts never leave the heap
+// array.
+func (l *Loop) up(pos int) {
+	e := l.heap[pos]
+	for pos > 0 {
+		parent := (pos - 1) / 4
+		if !less(&e, &l.heap[parent]) {
+			break
+		}
+		l.heap[pos] = l.heap[parent]
+		pos = parent
+	}
+	l.heap[pos] = e
+}
+
+// down restores the heap property from pos towards the leaves.
+func (l *Loop) down(pos int) {
+	e := l.heap[pos]
+	n := len(l.heap)
+	for {
+		first := 4*pos + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if less(&l.heap[c], &l.heap[best]) {
+				best = c
+			}
+		}
+		if !less(&l.heap[best], &e) {
 			break
 		}
 		l.heap[pos] = l.heap[best]
-		l.nodes[l.heap[pos]].pos = pos
 		pos = best
 	}
-	l.heap[pos] = id
-	l.nodes[id].pos = pos
+	l.heap[pos] = e
 }
 
 // Schedule runs fn after delay d of virtual time. A non-positive delay runs
@@ -388,15 +510,18 @@ func (l *Loop) schedule(t Time, fn func(), cb Callback) Timer {
 		t = l.now
 	}
 	id := l.alloc(t, fn, cb)
-	l.push(id)
-	return Timer{loop: l, id: id, gen: l.nodes[id].gen}
+	nd := &l.nodes[id]
+	l.pending++
+	l.push(mkEntry(t, nd.seq, id))
+	return Timer{loop: l, id: id, gen: nd.gen}
 }
 
 // Stop makes Run return after the currently executing event completes.
 func (l *Loop) Stop() { l.stopped = true }
 
-// Len returns the number of pending events.
-func (l *Loop) Len() int { return len(l.heap) }
+// Len returns the number of pending events (stale stopped-timer entries
+// still in the heap array are not counted).
+func (l *Loop) Len() int { return l.pending }
 
 // Run executes events in order until the queue drains, Stop is called, or
 // the event limit is exceeded.
@@ -405,6 +530,15 @@ func (l *Loop) Run() error { return l.RunUntil(End) }
 // RunUntil executes events with timestamps <= deadline and then advances the
 // clock to the deadline (if the deadline precedes pending work). It returns
 // nil when the deadline is reached or the queue drains.
+//
+// Events sharing an instant are drained as a batch: every entry already
+// queued for that timestamp is popped up front, then the callbacks run
+// back-to-back in (at, seq) order with no heap traffic in between. The
+// observable order is identical to one-at-a-time popping — events a
+// callback schedules at the current instant carry later seqs, so they sort
+// after the whole batch either way and simply form the next batch — and a
+// batch member stopped by an earlier member is skipped via the same
+// generation check that invalidates its Timer handle.
 func (l *Loop) RunUntil(deadline Time) error {
 	if l.running {
 		return errors.New("sim: RunUntil called re-entrantly")
@@ -413,36 +547,74 @@ func (l *Loop) RunUntil(deadline Time) error {
 	l.stopped = false
 	defer func() { l.running = false }()
 
-	for len(l.heap) > 0 && !l.stopped {
-		head := &l.nodes[l.heap[0]]
-		if head.at > deadline {
+	for !l.stopped && l.peek() {
+		at := l.heap[0].at
+		if at > deadline {
 			l.now = deadline
 			return nil
 		}
-		if head.at < l.now {
+		if at < l.now {
 			// Heap invariant violated; this is a kernel bug, not a model bug.
-			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", l.now, head.at))
+			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", l.now, at))
 		}
-		l.now = head.at
-		fn, cb := head.fn, head.cb
-		// Recycle before running: a Stop on this event's own handle from
-		// inside the callback (or any later turn) sees a stale generation
-		// and no-ops, even if the node is immediately reused.
-		l.release(l.popMin())
-		if cb != nil {
-			cb.Run(l.now)
-		} else {
-			fn()
+		l.now = at
+
+		// Pop the whole same-instant cohort.
+		l.batch = l.batch[:0]
+		for {
+			l.batch = append(l.batch, l.heap[0])
+			l.popRoot()
+			if !l.peek() || l.heap[0].at != at {
+				break
+			}
 		}
-		l.processed++
-		if l.limit > 0 && l.processed >= l.limit {
-			return fmt.Errorf("%w (%d events)", ErrEventLimit, l.processed)
+
+		for i, e := range l.batch {
+			if e.stale(l) {
+				// Stopped by an earlier member of this batch.
+				l.dead--
+				continue
+			}
+			nd := &l.nodes[e.id()]
+			fn, cb := nd.fn, nd.cb
+			// Recycle before running: a Stop on this event's own handle from
+			// inside the callback (or any later turn) sees a stale generation
+			// and no-ops, even if the node is immediately reused.
+			l.release(e.id())
+			if cb != nil {
+				cb.Run(l.now)
+			} else {
+				fn()
+			}
+			l.processed++
+			if l.limit > 0 && l.processed >= l.limit {
+				l.requeueBatch(i + 1)
+				return fmt.Errorf("%w (%d events)", ErrEventLimit, l.processed)
+			}
+			if l.stopped {
+				l.requeueBatch(i + 1)
+				break
+			}
 		}
 	}
 	if deadline != End && deadline > l.now {
 		l.now = deadline
 	}
 	return nil
+}
+
+// requeueBatch pushes the unexecuted tail of the current batch back into
+// the heap when a run aborts mid-batch (Stop or the event limit). Entries
+// keep their original seqs, so a later run pops them in the exact order
+// they would have executed.
+func (l *Loop) requeueBatch(from int) {
+	for _, e := range l.batch[from:] {
+		if e.stale(l) {
+			l.dropDead()
+			continue
+		}
+		l.push(e)
+	}
 }
 
 // RunFor runs the loop for a span of virtual time from the current instant.

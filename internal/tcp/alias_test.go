@@ -1,0 +1,95 @@
+package tcp
+
+// Aliasing regression tests for the arena discipline: a retransmission
+// fires long after the packet that first carried the segment was
+// recycled and its slot redrawn, so the sender's scoreboard must hold its
+// DSS mapping by value, never through the recycled option storage.
+
+import (
+	"testing"
+	"time"
+
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/packet"
+	"mptcpsim/internal/unit"
+)
+
+// dssBulkSource grants MSS-sized chunks and stamps each with a mapping in
+// connection-owned scratch, exactly like the MPTCP scheduler: the scratch
+// is overwritten on the very next grant, so only a value copy survives.
+type dssBulkSource struct {
+	remaining int
+	next      uint64
+	scratch   packet.DSS
+}
+
+func (s *dssBulkSource) Next(max int) (int, *packet.DSS) {
+	if s.remaining <= 0 || max <= 0 {
+		return 0, nil
+	}
+	n := max
+	if s.remaining < n {
+		n = s.remaining
+	}
+	s.remaining -= n
+	s.scratch = packet.DSS{HasMap: true, DSN: s.next}
+	s.next += uint64(n)
+	return n, &s.scratch
+}
+
+// dssTap records the mapping each delivered data packet carries.
+type dssTap struct {
+	got map[uint32]packet.DSS // TCP seq -> mapping
+}
+
+func (d *dssTap) OnDeliver(_ *netem.Node, p *packet.Packet) {
+	if p.TCP == nil || p.PayloadLen == 0 {
+		return
+	}
+	for _, o := range p.TCP.Options {
+		if dss, ok := o.(*packet.DSS); ok && dss.HasMap {
+			d.got[p.TCP.Seq] = *dss // copy: the packet is recycled after this tap
+		}
+	}
+}
+
+func (d *dssTap) OnTransmit(*netem.Link, *packet.Packet)          {}
+func (d *dssTap) OnDrop(string, *packet.Packet, netem.DropReason) {}
+
+// TestRetransmitCarriesOriginalMapping drops an early data packet, lets
+// dozens of later segments reuse its arena slot (overwriting the slot's
+// DSS storage with later mappings), then checks the retransmission still
+// carries the dropped segment's own mapping. If the sender aliased the
+// recycled option storage instead of copying the DSS by value, the
+// retransmitted mapping would be a later grant's.
+func TestRetransmitCarriesOriginalMapping(t *testing.T) {
+	tn := newTestNet(t, 10*unit.Mbps, 5*time.Millisecond, unit.MB)
+	tap := &dssTap{got: make(map[uint32]packet.DSS)}
+	tn.net.AttachTap(tap)
+	tn.fwd.SetAQM(&dropNth{n: 5})
+	const total = 256 * 1024
+	conn, sink := tn.startBulk(t, &dssBulkSource{remaining: total}, nil)
+	if err := tn.loop.RunFor(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Bytes != total {
+		t.Fatalf("delivered %d bytes, want %d", sink.Bytes, total)
+	}
+	if conn.Stats.Retransmits == 0 {
+		t.Fatal("test exercised nothing: no retransmission happened")
+	}
+	if len(tap.got) == 0 {
+		t.Fatal("tap saw no mapped data packets")
+	}
+	// Grants are sequential, so a segment at subflow offset k carries
+	// DSN == k. The dropped segment's retransmission must obey this too.
+	for seq, dss := range tap.got {
+		offset := seq - conn.iss - 1
+		if dss.DSN != uint64(offset) {
+			t.Fatalf("seq %d (offset %d) delivered with DSN %d — a recycled slot's mapping leaked into a retransmission", seq, offset, dss.DSN)
+		}
+		if dss.SubflowSeq != offset {
+			t.Fatalf("seq %d: subflow seq %d, want %d", seq, dss.SubflowSeq, offset)
+		}
+	}
+}

@@ -8,7 +8,10 @@ import (
 	"testing"
 	"time"
 
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/packet"
 	"mptcpsim/internal/sim"
+	"mptcpsim/internal/unit"
 )
 
 func TestArmRTOZeroAlloc(t *testing.T) {
@@ -32,5 +35,63 @@ func TestArmRTOZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("delayed-ACK re-arm allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// steadyState advances the connection past slow start and slice-capacity
+// warm-up, then measures the allocation bill of further simulated time.
+func steadyState(t *testing.T, tn *testNet, warm time.Duration) float64 {
+	t.Helper()
+	deadline := sim.Time(0).Add(warm)
+	if err := tn.loop.RunUntil(deadline); err != nil {
+		t.Fatal(err)
+	}
+	return testing.AllocsPerRun(20, func() {
+		deadline = deadline.Add(10 * time.Millisecond)
+		if err := tn.loop.RunUntil(deadline); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// Segment-construction gate: a warm bulk connection streams data, ACKs
+// and delayed ACKs with every packet drawn from the run's arena — a slice
+// of steady-state traffic allocates nothing.
+func TestBulkSteadyStateZeroAlloc(t *testing.T) {
+	tn := newTestNet(t, 50*unit.Mbps, 5*time.Millisecond, 256*1500)
+	tn.startBulk(t, &limitedSource{remaining: 1 << 30}, nil)
+	if allocs := steadyState(t, tn, 300*time.Millisecond); allocs != 0 {
+		t.Fatalf("steady-state bulk transfer allocates %.1f objects per 10ms, want 0", allocs)
+	}
+}
+
+// modDrop drops every nth data packet, forcing periodic fast-retransmit
+// episodes throughout the measured window.
+type modDrop struct {
+	n     int
+	count int
+}
+
+func (d *modDrop) Name() string { return "moddrop" }
+func (d *modDrop) OnEnqueue(_ *netem.Link, p *packet.Packet) bool {
+	if p.TCP == nil || p.PayloadLen == 0 {
+		return false
+	}
+	d.count++
+	return d.count%d.n == 0
+}
+
+// Retransmit gate: with a steady loss process the SACK scoreboard marks,
+// recovers and retransmits continuously; every retransmitted segment must
+// come from the arena too, so the bill stays zero.
+func TestRetransmitSteadyStateZeroAlloc(t *testing.T) {
+	tn := newTestNet(t, 50*unit.Mbps, 5*time.Millisecond, 256*1500)
+	conn, _ := tn.startBulk(t, &limitedSource{remaining: 1 << 30}, nil)
+	tn.fwd.SetAQM(&modDrop{n: 100})
+	if allocs := steadyState(t, tn, 300*time.Millisecond); allocs != 0 {
+		t.Fatalf("steady-state loss recovery allocates %.1f objects per 10ms, want 0", allocs)
+	}
+	if conn.Stats.Retransmits == 0 {
+		t.Fatal("gate measured nothing: no segments were retransmitted")
 	}
 }

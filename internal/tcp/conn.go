@@ -53,7 +53,10 @@ type Stats struct {
 
 // seg is a sender-side tracked segment awaiting acknowledgement. The
 // sacked/lost flags form the SACK scoreboard (RFC 6675); rtx records that
-// a retransmission of the segment is in flight.
+// a retransmission of the segment is in flight. The DSS mapping is held
+// by value: the packet that carried the original transmission is recycled
+// by the arena at delivery or drop, so a retransmission must never reach
+// back into its option storage.
 type seg struct {
 	seq    uint32
 	length int
@@ -61,14 +64,34 @@ type seg struct {
 	rtx    bool
 	sacked bool
 	lost   bool
-	dss    *packet.DSS
+	dss    packet.DSS
+	hasDSS bool
 }
 
-// rseg is a receiver-side out-of-order segment.
+// dssPtr returns the segment's mapping for retransmission, nil if the
+// segment carried none.
+func (s *seg) dssPtr() *packet.DSS {
+	if !s.hasDSS {
+		return nil
+	}
+	return &s.dss
+}
+
+// rseg is a receiver-side out-of-order segment. Like seg, it copies the
+// DSS out of the arriving packet: the packet's storage is recycled when
+// the delivery callback returns, long before the gap fills.
 type rseg struct {
 	seq    uint32
 	length int
-	dss    *packet.DSS
+	dss    packet.DSS
+	hasDSS bool
+}
+
+func (s *rseg) dssPtr() *packet.DSS {
+	if !s.hasDSS {
+		return nil
+	}
+	return &s.dss
 }
 
 // Conn is one TCP connection endpoint.
@@ -76,6 +99,10 @@ type Conn struct {
 	host *Host
 	loop *sim.Loop
 	cfg  Config
+	// arena supplies every outgoing packet's storage; the network engine
+	// recycles it when the packet is delivered or dropped, so the
+	// connection never touches a packet after Send.
+	arena *packet.Arena
 
 	state  State
 	local  packet.Endpoint
@@ -93,6 +120,10 @@ type Conn struct {
 	mss      int // effective MSS = min(cfg.MSS, peerMSS)
 	rtx      []seg
 	rtxHead  int
+	// pipe is the incrementally maintained RFC 6675 pipe: the sum of
+	// segPipe over rtx[rtxHead:]. Every scoreboard mutation updates it so
+	// outstanding() is O(1); scanOutstanding is the reference scan.
+	pipe     int
 	dupAcks  int
 	inRec    bool
 	recover  uint32
@@ -112,6 +143,9 @@ type Conn struct {
 	backoff    uint
 	synSent    int
 	synTime    sim.Time
+	// mssOpt holds the SYN's MSS option value; SYN packets (including
+	// retransmissions) reference it in place.
+	mssOpt packet.MSSOption
 
 	// Receiver state.
 	rcvNxt      uint32
@@ -120,6 +154,9 @@ type Conn struct {
 	lastOOOSeq  uint32
 	ackPending  int
 	delAckTimer sim.Timer
+	// sackScratch is the reusable builder for outgoing SACK ranges; the
+	// blocks that go on the wire are copied into the packet's own storage.
+	sackScratch [][2]uint32
 
 	// rtoCall and delAckCall are the pre-bound timer callbacks: arming a
 	// timer passes a pointer to these fields, so the per-packet timer
@@ -143,6 +180,7 @@ func newConn(h *Host, cfg Config, local, remote packet.Endpoint) *Conn {
 		host:    h,
 		loop:    h.loop,
 		cfg:     cfg,
+		arena:   h.net.Arena(),
 		local:   local,
 		remote:  remote,
 		peerMSS: cfg.MSS,
@@ -230,20 +268,25 @@ func (c *Conn) notePeerOptions(t *packet.TCP) {
 	c.peerRwnd = t.Window
 }
 
+// sackPermittedOpt is the shared stateless SACK-permitted option value
+// appended to every SYN; packets only read it.
+var sackPermittedOpt packet.SACKPermitted
+
 func (c *Conn) sendSYN(withAck bool) {
-	t := &packet.TCP{
-		SrcPort: c.local.Port,
-		DstPort: c.remote.Port,
-		Seq:     c.iss,
-		Flags:   packet.FlagSYN,
-		Window:  uint32(c.cfg.RcvBuf),
-		Options: append([]packet.Option{&packet.MSSOption{MSS: uint16(c.cfg.MSS)}}, c.cfg.SynOptions...),
-	}
+	p, t := c.arena.GetTCP()
+	t.SrcPort = c.local.Port
+	t.DstPort = c.remote.Port
+	t.Seq = c.iss
+	t.Flags = packet.FlagSYN
+	t.Window = uint32(c.cfg.RcvBuf)
+	c.mssOpt = packet.MSSOption{MSS: uint16(c.cfg.MSS)}
+	t.Options = append(t.Options, &c.mssOpt)
+	t.Options = append(t.Options, c.cfg.SynOptions...)
 	if !c.cfg.DisableSACK {
-		t.Options = append(t.Options, &packet.SACKPermitted{})
+		t.Options = append(t.Options, &sackPermittedOpt)
 	}
 	if c.cfg.Timestamps {
-		t.Options = append(t.Options, &packet.Timestamps{TSval: c.tsNow(), TSecr: c.peerTSval})
+		t.UseTimestamps(c.tsNow(), c.peerTSval)
 	}
 	if withAck {
 		t.Flags |= packet.FlagACK
@@ -252,7 +295,7 @@ func (c *Conn) sendSYN(withAck bool) {
 	if c.synSent == 0 {
 		c.synTime = c.loop.Now()
 	}
-	c.transmit(t, 0)
+	c.transmit(p, 0)
 	c.synSent++
 	c.armRTO(c.rtt.RTO() << c.backoff)
 }
@@ -285,7 +328,11 @@ func (c *Conn) Close() {
 	}
 	c.stopRTO()
 	c.delAckTimer.Stop()
-	delete(c.host.conns, connKey{c.local.Port, c.remote.Addr, c.remote.Port})
+	key := connKey{c.local.Port, c.remote.Addr, c.remote.Port}
+	delete(c.host.conns, key)
+	if c.host.lastKey == key {
+		c.host.lastConn = nil
+	}
 }
 
 // Kick wakes the sender after its Source gains data.
@@ -364,20 +411,19 @@ func (c *Conn) noteTimestamps(t *packet.TCP) {
 	}
 }
 
-// transmit builds and sends a packet with payload length n.
-func (c *Conn) transmit(t *packet.TCP, n int) {
-	p := &packet.Packet{
-		IP: packet.IPv4{
-			Tag:   c.cfg.Tag,
-			TTL:   packet.DefaultTTL,
-			Proto: packet.ProtoTCP,
-			Src:   c.local.Addr,
-			Dst:   c.remote.Addr,
-			ID:    uint16(c.Stats.SentSegments),
-		},
-		TCP:        t,
-		PayloadLen: n,
+// transmit stamps the network header on an arena-drawn packet and sends
+// it with payload length n. The packet belongs to the network after Send:
+// the engine recycles it at delivery or drop.
+func (c *Conn) transmit(p *packet.Packet, n int) {
+	p.IP = packet.IPv4{
+		Tag:   c.cfg.Tag,
+		TTL:   packet.DefaultTTL,
+		Proto: packet.ProtoTCP,
+		Src:   c.local.Addr,
+		Dst:   c.remote.Addr,
+		ID:    uint16(c.Stats.SentSegments),
 	}
+	p.PayloadLen = n
 	c.Stats.SentSegments++
 	c.Stats.SentBytes += uint64(n)
 	if c.Flow.Cwnd > c.CwndPeak {

@@ -25,6 +25,11 @@ type Host struct {
 	conns     map[connKey]*Conn
 	listeners map[packet.Port]*Listener
 	nextPort  packet.Port
+	// lastKey/lastConn cache the most recent demux hit: back-to-back
+	// packets overwhelmingly belong to the same connection, and the cache
+	// turns the per-packet map probe into two compares.
+	lastKey  connKey
+	lastConn *Conn
 }
 
 type connKey struct {
@@ -123,7 +128,12 @@ func (h *Host) deliver(pkt *packet.Packet) {
 		remoteAddr: pkt.IP.Src,
 		remotePort: pkt.TCP.SrcPort,
 	}
+	if h.lastConn != nil && key == h.lastKey {
+		h.lastConn.receive(pkt)
+		return
+	}
 	if c, ok := h.conns[key]; ok {
+		h.lastKey, h.lastConn = key, c
 		c.receive(pkt)
 		return
 	}

@@ -69,7 +69,9 @@ func (c *Conn) deliverData(n int, dss *packet.DSS) {
 	}
 }
 
-// storeOOO parks an out-of-order segment, ignoring exact duplicates.
+// storeOOO parks an out-of-order segment, ignoring exact duplicates. The
+// DSS is copied by value: dss points into the arriving packet, whose
+// storage is recycled when this delivery returns.
 func (c *Conn) storeOOO(seq uint32, n int, dss *packet.DSS) {
 	c.lastOOOSeq = seq
 	i := sort.Search(len(c.ooo), func(i int) bool { return seqGEQ(c.ooo[i].seq, seq) })
@@ -81,24 +83,36 @@ func (c *Conn) storeOOO(seq uint32, n int, dss *packet.DSS) {
 	}
 	c.ooo = append(c.ooo, rseg{})
 	copy(c.ooo[i+1:], c.ooo[i:])
-	c.ooo[i] = rseg{seq: seq, length: n, dss: dss}
+	s := rseg{seq: seq, length: n}
+	if dss != nil {
+		s.dss, s.hasDSS = *dss, true
+	}
+	c.ooo[i] = s
 	c.oooBytes += n
 }
 
-// drainOOO delivers any parked segments made contiguous by rcvNxt.
+// drainOOO delivers any parked segments made contiguous by rcvNxt. The
+// queue is walked in place (no per-segment copy — the copy would escape
+// through dssPtr and heap-allocate on every drained segment) and then
+// compacted to the front so the slice keeps its capacity; nothing mutates
+// c.ooo during the walk because delivery only schedules future events.
 func (c *Conn) drainOOO() {
-	for len(c.ooo) > 0 {
-		s := c.ooo[0]
+	n := 0
+	for n < len(c.ooo) {
+		s := &c.ooo[n]
 		if seqGT(s.seq, c.rcvNxt) {
 			break
 		}
-		c.ooo = c.ooo[1:]
+		n++
 		c.oooBytes -= s.length
 		if seqLEQ(s.seq+uint32(s.length), c.rcvNxt) {
 			continue // stale overlap
 		}
 		c.rcvNxt = s.seq + uint32(s.length)
-		c.deliverData(s.length, s.dss)
+		c.deliverData(s.length, s.dssPtr())
+	}
+	if n > 0 {
+		c.ooo = c.ooo[:copy(c.ooo, c.ooo[n:])]
 	}
 }
 
@@ -107,23 +121,22 @@ func (c *Conn) drainOOO() {
 func (c *Conn) sendPureAck() {
 	c.ackPending = 0
 	c.delAckTimer.Stop()
-	t := &packet.TCP{
-		SrcPort: c.local.Port,
-		DstPort: c.remote.Port,
-		Seq:     c.sndNxt,
-		Ack:     c.rcvNxt,
-		Flags:   packet.FlagACK,
-		Window:  c.advertisedWindow(),
-	}
+	p, t := c.arena.GetTCP()
+	t.SrcPort = c.local.Port
+	t.DstPort = c.remote.Port
+	t.Seq = c.sndNxt
+	t.Ack = c.rcvNxt
+	t.Flags = packet.FlagACK
+	t.Window = c.advertisedWindow()
 	// Option-space budget: 40 bytes. Timestamps (12 padded) and the MPTCP
 	// data ACK (12) squeeze the SACK blocks, as on real stacks.
 	budget := 40
 	if c.tsOK {
-		t.Options = append(t.Options, &packet.Timestamps{TSval: c.tsNow(), TSecr: c.peerTSval})
+		t.UseTimestamps(c.tsNow(), c.peerTSval)
 		budget -= 12
 	}
 	if ack, ok := c.dataAck(); ok {
-		t.Options = append(t.Options, &packet.DSS{HasAck: true, DataAck: ack})
+		t.UseDSS(packet.DSS{HasAck: true, DataAck: ack})
 		budget -= 12
 	}
 	if blocks := c.sackBlocks(); len(blocks) > 0 {
@@ -135,21 +148,25 @@ func (c *Conn) sendPureAck() {
 			}
 		}
 		if len(blocks) > 0 {
-			t.Options = append(t.Options, &packet.SACK{Blocks: blocks})
+			// UseSACK copies the scratch-built blocks into the packet's
+			// inline storage; the scratch is reused on the next ACK.
+			t.UseSACK(blocks)
 		}
 	}
 	c.Stats.AcksSent++
-	c.transmit(t, 0)
+	c.transmit(p, 0)
 }
 
 // sackBlocks renders the out-of-order queue as SACK blocks: contiguous
 // ranges, the one containing the most recent arrival first (RFC 2018), at
-// most MaxSACKBlocks.
+// most MaxSACKBlocks. The returned slice is connection-owned scratch,
+// overwritten by the next call; the ACK path copies it into the outgoing
+// packet's storage.
 func (c *Conn) sackBlocks() [][2]uint32 {
 	if !c.sackOK || len(c.ooo) == 0 {
 		return nil
 	}
-	var ranges [][2]uint32
+	ranges := c.sackScratch[:0]
 	for _, s := range c.ooo {
 		end := s.seq + uint32(s.length)
 		if n := len(ranges); n > 0 && ranges[n-1][1] == s.seq {
@@ -168,5 +185,6 @@ func (c *Conn) sackBlocks() [][2]uint32 {
 	if len(ranges) > packet.MaxSACKBlocks {
 		ranges = ranges[:packet.MaxSACKBlocks]
 	}
+	c.sackScratch = ranges
 	return ranges
 }

@@ -29,6 +29,7 @@ func scoreboardConn() *Conn {
 		c.rtx = append(c.rtx, seg{seq: uint32(1 + i*1000), length: 1000})
 		c.sndNxt += 1000
 	}
+	c.pipe = c.scanOutstanding()
 	return c
 }
 
@@ -99,8 +100,14 @@ func TestOutstandingPipeExcludesSackedAndLost(t *testing.T) {
 	if got := c.outstanding(); got != 6000 {
 		t.Fatalf("pipe = %d, want 6000", got)
 	}
-	// A retransmitted lost segment re-enters the pipe.
+	// The incremental cache must track the reference scan.
+	if c.pipe != c.scanOutstanding() {
+		t.Fatalf("incremental pipe %d != scan %d", c.pipe, c.scanOutstanding())
+	}
+	// A retransmitted lost segment re-enters the pipe. The scoreboard is
+	// poked directly here, so re-sync the cache from the reference scan.
 	c.rtx[0].rtx = true
+	c.pipe = c.scanOutstanding()
 	if got := c.outstanding(); got != 7000 {
 		t.Fatalf("pipe = %d, want 7000", got)
 	}

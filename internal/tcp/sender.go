@@ -1,6 +1,7 @@
 package tcp
 
 import (
+	"sort"
 	"time"
 
 	"mptcpsim/internal/packet"
@@ -24,24 +25,38 @@ func (c *Conn) effectiveWindow() int {
 }
 
 // outstanding estimates the bytes currently in the network: the SACK
-// "pipe" of RFC 6675 when available, else plain flight size.
+// "pipe" of RFC 6675 when available, else plain flight size. The pipe is
+// maintained incrementally (c.pipe) at every scoreboard mutation, since
+// every ACK reads it; scanOutstanding is the reference recomputation.
 func (c *Conn) outstanding() int {
 	if !c.sackOK {
 		return c.BytesInFlight()
 	}
+	return c.pipe
+}
+
+// segPipe is one segment's contribution to the RFC 6675 pipe.
+func segPipe(s *seg) int {
+	switch {
+	case s.sacked:
+		return 0 // left the network
+	case s.lost:
+		if s.rtx {
+			return s.length // the retransmission is in flight
+		}
+		return 0
+	default:
+		return s.length
+	}
+}
+
+// scanOutstanding recomputes the SACK pipe from the scoreboard. The
+// incrementally maintained c.pipe must always equal it; tests that build
+// scoreboards by hand use it to initialise the cache.
+func (c *Conn) scanOutstanding() int {
 	p := 0
 	for i := c.rtxHead; i < len(c.rtx); i++ {
-		s := &c.rtx[i]
-		switch {
-		case s.sacked:
-			// Left the network.
-		case s.lost:
-			if s.rtx {
-				p += s.length // the retransmission is in flight
-			}
-		default:
-			p += s.length
-		}
+		p += segPipe(&c.rtx[i])
 	}
 	return p
 }
@@ -51,8 +66,14 @@ func (c *Conn) trySend() {
 	if c.state != StateEstablished || c.cfg.Source == nil {
 		return
 	}
+	// The window inputs (cwnd, rwnd, dupAcks) cannot change inside the
+	// loop — sends only schedule future events — so the pipe estimate is
+	// computed once and advanced per segment instead of rescanning the
+	// scoreboard for every packet of a burst.
+	wnd := c.effectiveWindow()
+	out := c.outstanding()
 	for {
-		avail := c.effectiveWindow() - c.outstanding()
+		avail := wnd - out
 		if avail < 1 {
 			return
 		}
@@ -79,7 +100,16 @@ func (c *Conn) trySend() {
 		}
 		c.sendData(c.sndNxt, n, dss, false)
 		c.sndNxt += uint32(n)
-		c.rtx = append(c.rtx, seg{seq: c.sndNxt - uint32(n), length: n, sentAt: c.loop.Now(), dss: dss})
+		out += n
+		// The tracked segment copies the mapping by value: dss points at
+		// Source-owned scratch that the next grant overwrites, and the
+		// packet that carried it is recycled at delivery.
+		sg := seg{seq: c.sndNxt - uint32(n), length: n, sentAt: c.loop.Now()}
+		if dss != nil {
+			sg.dss, sg.hasDSS = *dss, true
+		}
+		c.rtx = append(c.rtx, sg)
+		c.pipe += n
 		if !c.timing {
 			// Time this segment for the next RTT sample (one at a time).
 			c.timing = true
@@ -92,33 +122,34 @@ func (c *Conn) trySend() {
 	}
 }
 
-// sendData transmits one data segment (fresh or retransmission).
+// sendData transmits one data segment (fresh or retransmission). The
+// segment is built into arena storage: header and option values live in
+// the packet's own slot, so nothing here allocates.
 func (c *Conn) sendData(seq uint32, n int, dss *packet.DSS, isRtx bool) {
-	t := &packet.TCP{
-		SrcPort: c.local.Port,
-		DstPort: c.remote.Port,
-		Seq:     seq,
-		Ack:     c.rcvNxt,
-		Flags:   packet.FlagACK | packet.FlagPSH,
-		Window:  c.advertisedWindow(),
-	}
+	p, t := c.arena.GetTCP()
+	t.SrcPort = c.local.Port
+	t.DstPort = c.remote.Port
+	t.Seq = seq
+	t.Ack = c.rcvNxt
+	t.Flags = packet.FlagACK | packet.FlagPSH
+	t.Window = c.advertisedWindow()
 	if c.tsOK {
-		t.Options = append(t.Options, &packet.Timestamps{TSval: c.tsNow(), TSecr: c.peerTSval})
+		t.UseTimestamps(c.tsNow(), c.peerTSval)
 	}
 	if dss != nil {
-		d := *dss // copy: the option is serialised per packet
+		// Copy: the option is serialised per packet.
+		d := t.UseDSS(*dss)
 		if ack, ok := c.dataAck(); ok {
 			d.HasAck = true
 			d.DataAck = ack
 		}
-		t.Options = append(t.Options, &d)
 	}
 	if isRtx {
 		c.Stats.Retransmits++
 		// Karn's rule: a retransmission invalidates the running RTT timing.
 		c.timing = false
 	}
-	c.transmit(t, n)
+	c.transmit(p, n)
 }
 
 func (c *Conn) dataAck() (uint64, bool) {
@@ -230,8 +261,10 @@ func (c *Conn) processAck(pkt *packet.Packet) {
 		// indicate the head segment is gone (e.g. single-segment flight).
 		if !c.inRec && c.dupAcks >= 3 {
 			if c.rtxHead < len(c.rtx) {
-				c.rtx[c.rtxHead].lost = true
-				c.rtx[c.rtxHead].rtx = false
+				s := &c.rtx[c.rtxHead]
+				c.pipe -= segPipe(s)
+				s.lost = true
+				s.rtx = false
 			}
 			c.enterRecovery(now)
 		}
@@ -240,7 +273,10 @@ func (c *Conn) processAck(pkt *packet.Packet) {
 }
 
 // applySACK marks segments covered by the peer's SACK blocks; it reports
-// whether any new byte was sacked.
+// whether any new byte was sacked. The scoreboard is contiguous and
+// sorted by sequence (segments are appended in send order and popped
+// from the front), so each block marks one run found by binary search
+// instead of a full scan.
 func (c *Conn) applySACK(blocks [][2]uint32) bool {
 	changed := false
 	for _, b := range blocks {
@@ -248,18 +284,23 @@ func (c *Conn) applySACK(blocks [][2]uint32) bool {
 		if !seqLT(start, end) {
 			continue
 		}
-		for i := c.rtxHead; i < len(c.rtx); i++ {
+		lo := c.rtxHead + sort.Search(len(c.rtx)-c.rtxHead, func(i int) bool {
+			return seqGEQ(c.rtx[c.rtxHead+i].seq, start)
+		})
+		for i := lo; i < len(c.rtx); i++ {
 			s := &c.rtx[i]
+			if !seqLEQ(s.seq+uint32(s.length), end) {
+				break
+			}
 			if s.sacked {
 				continue
 			}
-			if seqGEQ(s.seq, start) && seqLEQ(s.seq+uint32(s.length), end) {
-				s.sacked = true
-				s.lost = false
-				changed = true
-				if seqGT(s.seq+uint32(s.length), c.hiSacked) {
-					c.hiSacked = s.seq + uint32(s.length)
-				}
+			c.pipe -= segPipe(s)
+			s.sacked = true
+			s.lost = false
+			changed = true
+			if seqGT(s.seq+uint32(s.length), c.hiSacked) {
+				c.hiSacked = s.seq + uint32(s.length)
 			}
 		}
 	}
@@ -280,6 +321,7 @@ func (c *Conn) markLost() bool {
 			continue
 		}
 		if !s.lost && sackedAbove >= thresh {
+			c.pipe -= segPipe(s)
 			s.lost = true
 			s.rtx = false
 			changed = true
@@ -294,19 +336,27 @@ func (c *Conn) sendScoreboard() {
 	if c.state != StateEstablished {
 		return
 	}
+	// One pass: window inputs are fixed for the burst, each retransmitted
+	// hole adds its length to the pipe, and the candidate scan resumes
+	// where it left off — a hole just marked rtx with a fresh sentAt
+	// would fail the eligibility check anyway, so nothing behind the
+	// cursor can become eligible mid-burst.
+	wnd := c.effectiveWindow()
+	out := c.outstanding()
+	// A retransmission that has itself been outstanding for a full RTO
+	// is presumed lost again and re-sent — a per-segment soft timeout
+	// that repairs double losses without collapsing the window. SRTT
+	// lags queue growth too much for a tighter (RACK-style) bound.
+	rearm := c.rtt.RTO()
+	now := c.loop.Now()
+	scan := c.rtxHead
 	for {
-		if c.outstanding() >= c.effectiveWindow() {
+		if out >= wnd {
 			return
 		}
 		var hole *seg
-		// A retransmission that has itself been outstanding for a full RTO
-		// is presumed lost again and re-sent — a per-segment soft timeout
-		// that repairs double losses without collapsing the window. SRTT
-		// lags queue growth too much for a tighter (RACK-style) bound.
-		rearm := c.rtt.RTO()
-		now := c.loop.Now()
-		for i := c.rtxHead; i < len(c.rtx); i++ {
-			s := &c.rtx[i]
+		for ; scan < len(c.rtx); scan++ {
+			s := &c.rtx[scan]
 			if !s.lost || s.sacked {
 				continue
 			}
@@ -318,9 +368,16 @@ func (c *Conn) sendScoreboard() {
 		if hole == nil {
 			return // no repairable holes; trySend handles new data
 		}
+		scan++
+		if !hole.rtx {
+			// A first retransmission re-enters the pipe; a soft-timeout
+			// re-send was already counted.
+			out += hole.length
+			c.pipe += hole.length
+		}
 		hole.rtx = true
-		hole.sentAt = c.loop.Now()
-		c.sendData(hole.seq, hole.length, hole.dss, true)
+		hole.sentAt = now
+		c.sendData(hole.seq, hole.length, hole.dssPtr(), true)
 	}
 }
 
@@ -364,6 +421,7 @@ func (c *Conn) popAcked(ack uint32, now sim.Time) {
 		if !seqLEQ(end, ack) {
 			break
 		}
+		c.pipe -= segPipe(s)
 		c.rtxHead++
 	}
 	if c.rtxHead == len(c.rtx) {
@@ -381,9 +439,11 @@ func (c *Conn) retransmitFront() {
 		return
 	}
 	s := &c.rtx[c.rtxHead]
+	c.pipe -= segPipe(s)
 	s.rtx = true
 	s.sentAt = c.loop.Now()
-	c.sendData(s.seq, s.length, s.dss, true)
+	c.pipe += segPipe(s)
+	c.sendData(s.seq, s.length, s.dssPtr(), true)
 }
 
 // armRTO (re)starts the retransmission timer. The reset is allocation-free:
@@ -431,6 +491,7 @@ func (c *Conn) onRTO() {
 	for i := c.rtxHead; i < len(c.rtx); i++ {
 		s := &c.rtx[i]
 		if !s.sacked {
+			c.pipe -= segPipe(s)
 			s.lost = true
 			s.rtx = false
 		}

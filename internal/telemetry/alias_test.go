@@ -1,0 +1,64 @@
+package telemetry
+
+// Aliasing regression test for the flight recorder: recorded events must
+// copy the scalar facts they report (UID, tag, size) at observation time,
+// because the packet they describe is recycled at its terminal tap and
+// the slot is rebuilt as an unrelated packet moments later.
+
+import (
+	"testing"
+	"time"
+
+	"mptcpsim/internal/packet"
+)
+
+func TestRecorderEventsSurvivePacketRecycling(t *testing.T) {
+	loop, net, a, c, aAddr, cAddr := lineNet(t, 100e6, time.Millisecond, 100*1500)
+	rec := NewRecorder(256)
+	rec.Attach(net)
+	h := &countHandler{}
+	if err := c.Register(9001, h); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ten packets of distinct sizes sent strictly one at a time: each is
+	// delivered (and its slot recycled) before the next draw, so all ten
+	// share one arena slot. The recorder's events must still describe ten
+	// different packets, not ten views of the slot's final contents.
+	arena := net.Arena()
+	wantSize := make(map[uint64]int) // UID -> wire size
+	for i := 0; i < 10; i++ {
+		p, u := arena.GetUDP()
+		p.IP = packet.IPv4{Tag: 1, Proto: packet.ProtoUDP, Src: aAddr, Dst: cAddr}
+		u.SrcPort, u.DstPort = 9000, 9001
+		p.PayloadLen = 100 + 10*i
+		a.Send(p)
+		wantSize[p.UID] = int(p.Size()) // UID is stamped at send time
+		if err := loop.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.n != 10 {
+		t.Fatalf("delivered %d packets, want 10", h.n)
+	}
+	if len(wantSize) != 10 {
+		t.Fatalf("expected 10 distinct UIDs, saw %d — slot reuse broke identity", len(wantSize))
+	}
+
+	// Every event of every lifecycle stage must report its own packet's
+	// size, even though the storage behind all of them was one slot.
+	seen := make(map[uint64]int)
+	for _, e := range rec.Events() {
+		want, ok := wantSize[e.UID]
+		if !ok {
+			t.Fatalf("event for unknown UID %d: %+v", e.UID, e)
+		}
+		if e.Size != want {
+			t.Fatalf("%s event of UID %d reports size %d, want %d — the recorder aliased recycled packet storage", e.Kind, e.UID, e.Size, want)
+		}
+		seen[e.UID]++
+	}
+	if len(seen) != 10 {
+		t.Fatalf("recorder saw %d distinct packets, want 10", len(seen))
+	}
+}

@@ -155,11 +155,11 @@ func (c *CBR) tick() {
 		return
 	}
 	src, _ := c.net.AddrOf(c.node)
-	c.net.Node(c.node).Send(&packet.Packet{
-		IP:         packet.IPv4{Tag: c.tag, Proto: packet.ProtoUDP, Src: src, Dst: c.dst},
-		UDP:        &packet.UDP{SrcPort: 9999, DstPort: 9999},
-		PayloadLen: c.payload,
-	})
+	p, u := c.net.Arena().GetUDP()
+	p.IP = packet.IPv4{Tag: c.tag, Proto: packet.ProtoUDP, Src: src, Dst: c.dst}
+	u.SrcPort, u.DstPort = 9999, 9999
+	p.PayloadLen = c.payload
+	c.net.Node(c.node).Send(p)
 	c.Sent++
 	c.net.Loop.ScheduleCall(c.period, &c.tickCall)
 }
