@@ -65,28 +65,36 @@ type report struct {
 
 // benchmarks lists the reference workloads: the static sweep isolates the
 // steady-state hot path, the dynamic one adds the event/epoch machinery
-// (piecewise LP baselines, link mutators), and the telemetry one re-runs
-// the static workload with engine counters and the flight recorder
-// attached — so a regression in any layer, including the observation
-// plane's overhead, shows up under its own name. sweep_telemetry against
-// sweep_static is the telemetry cost curve; sweep_static itself gates
-// the telemetry-off fast path.
+// (piecewise LP baselines, link mutators), the telemetry one re-runs the
+// static workload with engine counters and the flight recorder attached,
+// and the stream one re-runs it through the flat-memory run-log path
+// (Sweep.Stream encoding every run as NDJSON instead of retaining it) —
+// so a regression in any layer, including the observation plane's and the
+// streaming pipeline's overhead, shows up under its own name.
+// sweep_telemetry against sweep_static is the telemetry cost curve;
+// sweep_stream against sweep_static is the streaming memory budget
+// (gated by the compare step: streamed bytes/run must not exceed the
+// in-memory baseline's); sweep_static itself gates the telemetry-off
+// fast path.
 func benchmarks() []struct {
 	name      string
 	events    mptcpsim.EventSet
 	telemetry bool
+	stream    bool
 } {
 	return []struct {
 		name      string
 		events    mptcpsim.EventSet
 		telemetry bool
+		stream    bool
 	}{
-		{"sweep_static", mptcpsim.EventSet{Name: "static"}, false},
+		{"sweep_static", mptcpsim.EventSet{Name: "static"}, false, false},
 		{"sweep_dynamic", mptcpsim.EventSet{Name: "outage", Events: []mptcpsim.ScenarioEvent{
 			{AtMs: 400, Type: mptcpsim.EventLinkDown, A: "s", B: "v1"},
 			{AtMs: 700, Type: mptcpsim.EventLinkUp, A: "s", B: "v1"},
-		}}, false},
-		{"sweep_telemetry", mptcpsim.EventSet{Name: "static"}, true},
+		}}, false, false},
+		{"sweep_telemetry", mptcpsim.EventSet{Name: "static"}, true, false},
+		{"sweep_stream", mptcpsim.EventSet{Name: "static"}, false, true},
 	}
 }
 
@@ -105,21 +113,54 @@ func benchGrid(seeds int, events mptcpsim.EventSet) *mptcpsim.Grid {
 	return grid
 }
 
-// buildReport derives one benchmark's report from a finished sweep.
-func buildReport(name string, res *mptcpsim.SweepResult, grid *mptcpsim.Grid, workers int, wall float64, allocs, heapBytes uint64) report {
+// buildReport derives one benchmark's report from a finished sweep's
+// counts; runs includes failed runs, meanGap averages the successful ones.
+// Counts rather than a SweepResult, because the streamed workload never
+// materialises one — its counts come from an AggSink.
+func buildReport(name string, runs, errors int, meanGap float64, grid *mptcpsim.Grid, workers int, wall float64, allocs, heapBytes uint64) report {
 	return report{
 		Name:          name,
 		Workers:       workers,
-		Runs:          len(res.Runs),
-		Errors:        res.Errs(),
+		Runs:          runs,
+		Errors:        errors,
 		WallSeconds:   wall,
-		RunsPerSecond: float64(len(res.Runs)) / wall,
-		SimSecondsPerSecond: float64(len(res.Runs)) *
+		RunsPerSecond: float64(runs) / wall,
+		SimSecondsPerSecond: float64(runs) *
 			(grid.DurationMs / 1000) / wall,
-		MeanGapPct:   res.Gap.Mean * 100,
-		AllocsPerRun: float64(allocs) / float64(len(res.Runs)),
-		BytesPerRun:  float64(heapBytes) / float64(len(res.Runs)),
+		MeanGapPct:   meanGap * 100,
+		AllocsPerRun: float64(allocs) / float64(runs),
+		BytesPerRun:  float64(heapBytes) / float64(runs),
 	}
+}
+
+// runWorkload executes one benchmark sweep and returns its counts. The
+// streamed workload goes through Sweep.Stream with a LogSink encoding
+// every record (to io.Discard: the benchmark measures the pipeline's CPU
+// and allocation cost, not the disk) plus an AggSink for the counts; the
+// others go through the in-memory Sweep.Run.
+func runWorkload(grid *mptcpsim.Grid, workers int, telemetry, stream bool) (runs, errors int, meanGap float64, err error) {
+	sweep := &mptcpsim.Sweep{Workers: workers, Telemetry: telemetry}
+	if !stream {
+		res, err := sweep.Run(grid)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return len(res.Runs), res.Errs(), res.Gap.Mean, nil
+	}
+	digest, total, err := sweep.Describe(grid)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	logSink, err := mptcpsim.NewLogSink(io.Discard,
+		mptcpsim.RunLogHeader{GridDigest: digest, N: 1, Total: total}, mptcpsim.LogOptions{})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	agg := &mptcpsim.AggSink{}
+	if err := sweep.Stream(grid, mptcpsim.StreamSpec{}, mptcpsim.MultiSink(logSink, agg)); err != nil {
+		return 0, 0, 0, err
+	}
+	return agg.Runs + agg.Errors, agg.Errors, agg.Gap.Mean, nil
 }
 
 // maxAllocGrowth is the compare gate's budget for allocs/op: a 50% jump
@@ -200,6 +241,42 @@ func orUnknown(s string) string {
 	return s
 }
 
+// streamBudgetSlack tolerates the process-wide TotalAlloc counter's
+// run-to-run noise (GC metadata, background goroutines) when comparing
+// two workloads measured seconds apart within one process.
+const streamBudgetSlack = 0.05
+
+// streamBudget gates the streaming pipeline's memory bill within one
+// artifact: sweep_stream allocates NDJSON encoding per run where
+// sweep_static allocates result retention and aggregation, and the whole
+// point of streaming is that this trade is at worst a wash — so streamed
+// bytes/run must not exceed the in-memory baseline's (plus measurement
+// slack). Artifacts from before the sweep_stream benchmark pass with a
+// notice.
+func streamBudget(fresh artifact, w io.Writer) error {
+	var static, stream *report
+	for i := range fresh.Benchmarks {
+		switch fresh.Benchmarks[i].Name {
+		case "sweep_static":
+			static = &fresh.Benchmarks[i]
+		case "sweep_stream":
+			stream = &fresh.Benchmarks[i]
+		}
+	}
+	if static == nil || stream == nil || static.BytesPerRun <= 0 {
+		fmt.Fprintln(w, "benchsweep: no sweep_static/sweep_stream pair in artifact; stream budget gate skipped")
+		return nil
+	}
+	ratio := stream.BytesPerRun / static.BytesPerRun
+	fmt.Fprintf(w, "benchsweep: sweep_stream bytes/run is %.2fx the in-memory baseline (%.0f vs %.0f)\n",
+		ratio, stream.BytesPerRun, static.BytesPerRun)
+	if ratio > 1+streamBudgetSlack {
+		return fmt.Errorf("sweep_stream allocates %.0f bytes/run, %.0f%% over the in-memory baseline's %.0f (budget: +%.0f%%); the streaming path must stay flat",
+			stream.BytesPerRun, (ratio-1)*100, static.BytesPerRun, streamBudgetSlack*100)
+	}
+	return nil
+}
+
 // compare runs the gate between two artifact files. A missing or
 // unreadable previous file passes with a notice so the first CI run on a
 // repository (or after an artifact-retention expiry) is not a failure.
@@ -211,6 +288,11 @@ func compare(freshPath, prevPath string, maxDrop float64, w io.Writer) error {
 	var fresh artifact
 	if err := json.Unmarshal(freshBytes, &fresh); err != nil {
 		return fmt.Errorf("%s: %w", freshPath, err)
+	}
+	// The stream budget gate compares two benchmarks inside the fresh
+	// artifact, so it runs even on a first build with no previous artifact.
+	if err := streamBudget(fresh, w); err != nil {
+		return err
 	}
 	prevBytes, err := os.ReadFile(prevPath)
 	if err != nil {
@@ -264,14 +346,14 @@ func main() {
 			var before, after runtime.MemStats
 			runtime.ReadMemStats(&before)
 			start := time.Now()
-			res, err := (&mptcpsim.Sweep{Workers: *workers, Telemetry: b.telemetry}).Run(grid)
+			runs, errors, meanGap, err := runWorkload(grid, *workers, b.telemetry, b.stream)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "benchsweep:", err)
 				os.Exit(1)
 			}
 			wall := time.Since(start).Seconds()
 			runtime.ReadMemStats(&after)
-			r := buildReport(b.name, res, grid, *workers, wall,
+			r := buildReport(b.name, runs, errors, meanGap, grid, *workers, wall,
 				after.Mallocs-before.Mallocs, after.TotalAlloc-before.TotalAlloc)
 			if i == 0 || r.WallSeconds < best.WallSeconds {
 				best = r

@@ -7,8 +7,6 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
-
-	"mptcpsim"
 )
 
 func TestBenchGridShape(t *testing.T) {
@@ -34,11 +32,11 @@ func TestArtifactSchema(t *testing.T) {
 	doc := artifact{Commit: "deadbeef", GoVersion: "go1.24"}
 	for _, b := range benchmarks() {
 		grid := benchGrid(1, b.events)
-		res, err := (&mptcpsim.Sweep{Workers: 4, Telemetry: b.telemetry}).Run(grid)
+		runs, errors, meanGap, err := runWorkload(grid, 4, b.telemetry, b.stream)
 		if err != nil {
 			t.Fatal(err)
 		}
-		r := buildReport(b.name, res, grid, 4, 2.0, 4000, 400000)
+		r := buildReport(b.name, runs, errors, meanGap, grid, 4, 2.0, 4000, 400000)
 		if r.Runs != 4 || r.Errors != 0 {
 			t.Fatalf("%s: runs=%d errors=%d, want 4/0", b.name, r.Runs, r.Errors)
 		}
@@ -71,7 +69,7 @@ func TestArtifactSchema(t *testing.T) {
 		}
 	}
 	benches, ok := fields["benchmarks"].([]any)
-	if !ok || len(benches) != 3 {
+	if !ok || len(benches) != 4 {
 		t.Fatalf("benchmarks field malformed: %v", fields["benchmarks"])
 	}
 	bench, ok := benches[0].(map[string]any)
@@ -180,6 +178,41 @@ func TestCompareArtifactsBytesGate(t *testing.T) {
 	// A fresh zero (corrupt or not measured) cannot trip the gate either.
 	if err := compareArtifacts(artB(10, 0), artB(10, 1e6), 0.20, &out); err != nil {
 		t.Fatalf("zero fresh bytes failed the gate: %v", err)
+	}
+}
+
+// artS builds an artifact carrying the in-memory/streamed bytes-per-run
+// pair the stream budget gate reads.
+func artS(staticBytes, streamBytes float64) artifact {
+	return artifact{Commit: "c0ffee", GoVersion: "go1.24", Benchmarks: []report{
+		{Name: "sweep_static", RunsPerSecond: 10, BytesPerRun: staticBytes},
+		{Name: "sweep_stream", RunsPerSecond: 10, BytesPerRun: streamBytes},
+	}}
+}
+
+// TestStreamBudgetGate pins the flat-memory promise as a CI gate: the
+// streamed pipeline's per-run allocation bill may not exceed the in-memory
+// baseline's (beyond measurement slack).
+func TestStreamBudgetGate(t *testing.T) {
+	var out bytes.Buffer
+	// At or below the baseline (and within the slack) passes.
+	if err := streamBudget(artS(1e6, 9e5), &out); err != nil {
+		t.Fatalf("streamed below baseline failed the gate: %v", err)
+	}
+	if err := streamBudget(artS(1e6, 1.04e6), &out); err != nil {
+		t.Fatalf("streamed within slack failed the gate: %v", err)
+	}
+	// Beyond the slack fails and reports both numbers.
+	err := streamBudget(artS(1e6, 1.2e6), &out)
+	if err == nil || !strings.Contains(err.Error(), "in-memory baseline") {
+		t.Fatalf("20%% over baseline passed or unexplained: %v", err)
+	}
+	// Artifacts without the pair (older schema) pass with a notice.
+	if err := streamBudget(art(10, 10), &out); err != nil {
+		t.Fatalf("pair-less artifact failed the gate: %v", err)
+	}
+	if err := streamBudget(artifact{}, &out); err != nil {
+		t.Fatalf("empty artifact failed the gate: %v", err)
 	}
 }
 

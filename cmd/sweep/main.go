@@ -38,6 +38,20 @@
 //	sweep -grid grid.json -shard 0/4 -q -out shard-0.json   # x4, anywhere
 //	sweep -merge -json sweep.json shard-*.json
 //
+// Grids too large to hold in memory stream instead: -stream appends one
+// NDJSON record per run to a run-log as runs complete (fsync'd in
+// batches), keeping peak memory flat in grid size, then renders the
+// report and output files from the log in a merge-style second pass —
+// byte-identical to the in-memory sweep. A killed sweep continues with
+// -resume, which skips already-logged runs and rewrites a torn trailing
+// record; run-logs are mergeable artifacts, alone or mixed with shard
+// JSON files:
+//
+//	sweep -grid grid.json -stream sweep.ndjson -json sweep.json
+//	sweep -grid grid.json -resume sweep.ndjson -json sweep.json  # after a crash
+//	sweep -grid grid.json -shard 0/4 -q -stream shard-0.ndjson   # streamed shard
+//	sweep -merge -json sweep.json shard-0.ndjson shard-*.json
+//
 // Examples:
 //
 //	sweep -workers 8
@@ -46,6 +60,9 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -58,6 +75,33 @@ import (
 	"mptcpsim/internal/prof"
 	"mptcpsim/internal/telemetry"
 )
+
+// usageMatrix documents which flag combinations form a mode; flag.Usage
+// prints it above the per-flag help.
+const usageMatrix = `Modes and supported flag combinations:
+
+  sweep [flags]                  in-memory sweep: report to stdout, plus
+                                 -csv/-groups/-json output files
+  sweep -shard k/n -out f.json   one grid slice -> mergeable shard artifact
+                                 (aggregate outputs refused; use -merge)
+  sweep -stream f.ndjson         flat-memory sweep: every run appended to an
+                                 NDJSON run-log, report and output files
+                                 rendered from the log in a second pass,
+                                 byte-identical to the in-memory sweep
+  sweep -shard k/n -stream f     one grid slice -> mergeable run-log
+                                 (no -out; the run-log is the artifact)
+  sweep -resume f.ndjson         continue an interrupted -stream sweep:
+                                 logged runs are skipped, a torn trailing
+                                 record is truncated and re-executed
+  sweep -merge a.json b.ndjson   merge shard artifacts and/or run-logs with
+                                 matching grid digests into the full output
+
+-stream and -resume are mutually exclusive, reject -out, and refuse
+result retention (library Sweep.Keep): streaming exists to keep peak
+memory flat in grid size.
+
+Flags:
+`
 
 // pct renders a/b as a percentage (0 when b is 0).
 func pct(a, b uint64) float64 {
@@ -87,6 +131,8 @@ type config struct {
 	httpAddr     string
 	flightDir    string
 	eventLimit   uint64
+	streamPath   string
+	resumePath   string
 }
 
 func main() {
@@ -109,8 +155,16 @@ func main() {
 	flag.StringVar(&cfg.httpAddr, "http", "", "serve expvar + pprof debug endpoints on this address (e.g. :6060)")
 	flag.StringVar(&cfg.flightDir, "flightdir", "", "dump failed runs' flight-recorder tails to this directory (implies -telemetry)")
 	flag.Uint64Var(&cfg.eventLimit, "eventlimit", 0, "abort any run after this many simulation events (0 = no limit)")
+	flag.StringVar(&cfg.streamPath, "stream", "", "stream the sweep to this NDJSON run-log and render outputs from it (flat memory)")
+	flag.StringVar(&cfg.resumePath, "resume", "", "resume an interrupted -stream sweep from this run-log, skipping logged runs")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
 	memProf := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	flag.Usage = func() {
+		w := flag.CommandLine.Output()
+		fmt.Fprintf(w, "Usage of %s:\n\n", os.Args[0])
+		fmt.Fprint(w, usageMatrix)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	cfg.shardPaths = flag.Args()
 
@@ -142,6 +196,14 @@ func run(cfg config, stdout, stderr io.Writer) error {
 	}
 	if len(cfg.shardPaths) > 0 {
 		return fmt.Errorf("unexpected arguments %v (shard artifacts are only read with -merge)", cfg.shardPaths)
+	}
+	if cfg.streamPath != "" && cfg.resumePath != "" {
+		return fmt.Errorf("-stream starts a fresh run-log and -resume continues one; pass exactly one")
+	}
+	if cfg.streamPath != "" || cfg.resumePath != "" {
+		if cfg.outPath != "" {
+			return fmt.Errorf("-stream/-resume write the run-log as the mergeable artifact; they take no -out")
+		}
 	}
 	grid, err := loadGrid(cfg.gridPath)
 	if err != nil {
@@ -220,6 +282,9 @@ func run(cfg config, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "debug endpoint on http://%s/debug/vars\n", addr)
 	}
 
+	if cfg.streamPath != "" || cfg.resumePath != "" {
+		return runStream(cfg, grid, sweep, meter, stdout, stderr)
+	}
 	if cfg.shard != "" {
 		return runShard(cfg, grid, sweep, stdout, stderr)
 	}
@@ -323,25 +388,205 @@ func runShard(cfg config, grid *mptcpsim.Grid, sweep *mptcpsim.Sweep, stdout, st
 	return nil
 }
 
-// runMerge reassembles shard artifacts into the unsharded sweep result
-// and renders the usual report and output files from it.
+// runStream executes the sweep through the flat-memory run-log path: every
+// completed run is appended to the NDJSON log (and nothing is retained in
+// memory), then the report and output files are rendered from the log in a
+// merge-style second pass — byte-identical to the in-memory sweep. With
+// -resume the log's already-recorded runs are skipped and a torn trailing
+// record (the signature of a killed writer) is truncated and re-executed.
+func runStream(cfg config, grid *mptcpsim.Grid, sweep *mptcpsim.Sweep, meter *telemetry.Meter, stdout, stderr io.Writer) error {
+	path := cfg.streamPath
+	resume := path == ""
+	if resume {
+		path = cfg.resumePath
+	}
+	shard := mptcpsim.Shard{K: 0, N: 1}
+	if cfg.shard != "" {
+		var err error
+		shard, err = mptcpsim.ParseShard(cfg.shard)
+		if err != nil {
+			return err
+		}
+		if cfg.csvPath != "" || cfg.groupsPath != "" || cfg.jsonPath != "" {
+			return fmt.Errorf("-csv/-groups/-json aggregate the whole grid; write them from -merge, not a shard")
+		}
+	}
+	digest, total, err := sweep.Describe(grid)
+	if err != nil {
+		return err
+	}
+	header := mptcpsim.RunLogHeader{GridDigest: digest, K: shard.K, N: shard.N, Total: total}
+
+	f, skip, prevErrs, onDisk, err := openRunLog(path, header, resume, stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+	sink, err := mptcpsim.NewLogSink(f, header, mptcpsim.LogOptions{Sync: f.Sync, Resume: onDisk})
+	if err != nil {
+		return err
+	}
+	chain := mptcpsim.RunSink(sink)
+	roll := &mptcpsim.RollupSink{}
+	if cfg.telemetry {
+		chain = mptcpsim.MultiSink(sink, roll)
+	}
+	if meter != nil && len(skip) > 0 {
+		meter.Resume(len(skip), prevErrs)
+	}
+
+	start := time.Now()
+	spec := mptcpsim.StreamSpec{Shard: shard}
+	if len(skip) > 0 {
+		spec.Skip = func(index int) bool { return skip[index] }
+	}
+	if err := sweep.Stream(grid, spec, chain); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	f = nil
+
+	// Read the committed log back: the second pass trusts only what is on
+	// disk, so the rendered outputs are exactly what a later -merge of this
+	// log would produce.
+	log, err := readRunLogFile(path)
+	if err != nil {
+		return err
+	}
+	if log.Torn() {
+		return fmt.Errorf("%s: torn trailing record after a completed sweep (is something else writing it?)", path)
+	}
+	fmt.Fprintf(stderr, "streamed %d runs (%d resumed from log) in %v with %d workers\n",
+		len(log.Runs)-len(skip), len(skip), time.Since(start).Round(time.Millisecond), cfg.workers)
+
+	if shard.N > 1 {
+		fmt.Fprintln(stdout, "wrote", path)
+		if n := log.Errs(); n > 0 {
+			return fmt.Errorf("%d of %d shard runs failed", n, len(log.Runs))
+		}
+		return nil
+	}
+	res, err := mptcpsim.MergeShards(log.ShardResult())
+	if err != nil {
+		return err
+	}
+	if cfg.telemetry {
+		if len(skip) > 0 {
+			// The rollup covers only this execution's runs; attaching it
+			// after a resume would report a partial grid as the whole.
+			fmt.Fprintln(stderr, "telemetry rollup omitted: resume re-executed only the unlogged runs")
+		} else {
+			res.Telemetry = &roll.Rollup
+		}
+	}
+	if err := report(res, cfg, stdout); err != nil {
+		return err
+	}
+	if n := res.Errs(); n > 0 {
+		return fmt.Errorf("%d of %d runs failed", n, len(res.Runs))
+	}
+	return nil
+}
+
+// openRunLog opens the run-log file for the sweep. A fresh -stream
+// truncates; -resume validates an existing log against the current grid
+// digest and shard shape, cuts off a torn trailing record, and returns the
+// logged indices as the skip set plus the failed-run count already on
+// disk. onDisk reports whether a committed header is already present (so
+// the sink must not write a second one).
+func openRunLog(path string, header mptcpsim.RunLogHeader, resume bool, stderr io.Writer) (f *os.File, skip map[int]bool, prevErrs int, onDisk bool, err error) {
+	if !resume {
+		f, err = os.Create(path)
+		return f, nil, 0, false, err
+	}
+	f, err = os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o666)
+	if err != nil {
+		return nil, nil, 0, false, err
+	}
+	fail := func(e error) (*os.File, map[int]bool, int, bool, error) {
+		f.Close()
+		return nil, nil, 0, false, e
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return fail(err)
+	}
+	if st.Size() == 0 {
+		// Nothing to resume (first attempt died before the header, or the
+		// file is new): behave exactly like a fresh -stream.
+		return f, nil, 0, false, nil
+	}
+	log, err := mptcpsim.ReadRunLog(f)
+	if err != nil {
+		return fail(fmt.Errorf("%s: %w", path, err))
+	}
+	if log.Torn() && log.TornTail == 0 {
+		// The header itself never committed; start the log over.
+		if err := f.Truncate(0); err != nil {
+			return fail(err)
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "resume: %s has no committed header; restarting the log\n", path)
+		return f, nil, 0, false, nil
+	}
+	if log.Header.GridDigest != header.GridDigest {
+		return fail(fmt.Errorf("%s: run-log grid digest %.12s does not match this sweep's %.12s (different -grid, -check or library version?); resume with the original settings or -stream a fresh log",
+			path, log.Header.GridDigest, header.GridDigest))
+	}
+	if log.Header.K != header.K || log.Header.N != header.N || log.Header.Total != header.Total {
+		return fail(fmt.Errorf("%s: run-log is shard %d/%d of %d runs, this sweep is shard %d/%d of %d; resume with the original -shard",
+			path, log.Header.K, log.Header.N, log.Header.Total, header.K, header.N, header.Total))
+	}
+	if log.Torn() {
+		fmt.Fprintf(stderr, "resume: truncating torn trailing record at byte %d of %s; its run will be re-executed\n",
+			log.TornTail, path)
+		if err := f.Truncate(log.TornTail); err != nil {
+			return fail(err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		return fail(err)
+	}
+	return f, log.Indices(), log.Errs(), true, nil
+}
+
+// readRunLogFile parses the run-log at path.
+func readRunLogFile(path string) (*mptcpsim.RunLog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	log, err := mptcpsim.ReadRunLog(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return log, nil
+}
+
+// runMerge reassembles shard artifacts — JSON files from -out, NDJSON
+// run-logs from -stream, or a mix — into the unsharded sweep result and
+// renders the usual report and output files from it.
 func runMerge(cfg config, stdout io.Writer) error {
-	if cfg.gridPath != "" || cfg.shard != "" || cfg.outPath != "" {
-		return fmt.Errorf("-merge reads shard artifacts; it takes none of -grid/-shard/-out")
+	if cfg.gridPath != "" || cfg.shard != "" || cfg.outPath != "" || cfg.streamPath != "" || cfg.resumePath != "" {
+		return fmt.Errorf("-merge reads shard artifacts; it takes none of -grid/-shard/-out/-stream/-resume")
 	}
 	if len(cfg.shardPaths) == 0 {
 		return fmt.Errorf("-merge needs at least one shard artifact argument")
 	}
 	shards := make([]*mptcpsim.ShardResult, len(cfg.shardPaths))
 	for i, path := range cfg.shardPaths {
-		f, err := os.Open(path)
+		sr, err := loadArtifact(path)
 		if err != nil {
 			return err
-		}
-		sr, err := mptcpsim.LoadShard(f)
-		f.Close()
-		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
 		}
 		shards[i] = sr
 	}
@@ -356,6 +601,45 @@ func runMerge(cfg config, stdout io.Writer) error {
 		return fmt.Errorf("%d of %d runs failed", n, len(res.Runs))
 	}
 	return nil
+}
+
+// loadArtifact reads one -merge input in either artifact format, sniffed
+// from the first line: a run-log header carries the run_log version field,
+// a shard JSON artifact never does. Both converge on ShardResult, so mixed
+// inputs flow through the same validated merge path.
+func loadArtifact(path string) (*mptcpsim.ShardResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	line, err := br.ReadBytes('\n')
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	var probe struct {
+		Version int `json:"run_log"`
+	}
+	if json.Unmarshal(line, &probe) == nil && probe.Version > 0 {
+		log, err := mptcpsim.ReadRunLog(io.MultiReader(bytes.NewReader(line), br))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if log.Torn() {
+			return nil, fmt.Errorf("%s: torn trailing record at byte %d — the sweep was interrupted; finish it with -resume %s before merging",
+				path, log.TornTail, path)
+		}
+		return log.ShardResult(), nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	sr, err := mptcpsim.LoadShard(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sr, nil
 }
 
 // report renders the aggregate table and the best run to stdout and

@@ -1,0 +1,299 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mptcpsim"
+)
+
+// writeGoldenGrid materialises the shared golden grid spec in a temp dir.
+func writeGoldenGrid(t *testing.T) (dir, gridPath string) {
+	t.Helper()
+	dir = t.TempDir()
+	gridPath = filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(gridPath, []byte(goldenGrid), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir, gridPath
+}
+
+// reportBody strips the path-bearing "wrote ..." lines from a report.
+func reportBody(stdout string) []byte {
+	var lines []string
+	for _, line := range strings.Split(stdout, "\n") {
+		if strings.HasPrefix(line, "wrote ") {
+			continue
+		}
+		lines = append(lines, line)
+	}
+	return []byte(strings.Join(lines, "\n"))
+}
+
+// compareOutputsGolden checks the four output formats against the same
+// golden files the in-memory sweep is pinned to.
+func compareOutputsGolden(t *testing.T, dir, stdout string) {
+	t.Helper()
+	compareGolden(t, "report.txt", reportBody(stdout))
+	for _, name := range []string{"runs.csv", "groups.csv", "sweep.json"} {
+		got, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareGolden(t, name, got)
+	}
+}
+
+// TestRunStreamGolden drives the flat-memory pipeline end to end at two
+// worker counts: the report and all three output files, rendered from the
+// run-log in the second pass, must match the in-memory sweep's golden
+// files byte for byte.
+func TestRunStreamGolden(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			dir, gridPath := writeGoldenGrid(t)
+			cfg := config{
+				gridPath:   gridPath,
+				workers:    workers,
+				quiet:      true,
+				check:      true,
+				streamPath: filepath.Join(dir, "sweep.ndjson"),
+				csvPath:    filepath.Join(dir, "runs.csv"),
+				groupsPath: filepath.Join(dir, "groups.csv"),
+				jsonPath:   filepath.Join(dir, "sweep.json"),
+			}
+			var stdout, stderr bytes.Buffer
+			if err := run(cfg, &stdout, &stderr); err != nil {
+				t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+			}
+			compareOutputsGolden(t, dir, stdout.String())
+		})
+	}
+}
+
+// truncateMidRecord cuts the run-log a few bytes into its final record and
+// returns how many committed records survive.
+func truncateMidRecord(t *testing.T, path string) int {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trimmed := bytes.TrimRight(raw, "\n")
+	lastStart := bytes.LastIndexByte(trimmed, '\n') + 1
+	if err := os.WriteFile(path, raw[:lastStart+3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return bytes.Count(raw[:lastStart], []byte("\n")) - 1 // minus the header
+}
+
+// TestRunResumeAfterTruncation is the crash-resume property at the CLI
+// seam: kill a streamed sweep by cutting its log mid-record, resume it,
+// and the command must announce the torn tail, re-execute only what is
+// missing, leave an exactly-once log, and render outputs byte-identical
+// to the golden (in-memory) sweep.
+func TestRunResumeAfterTruncation(t *testing.T) {
+	dir, gridPath := writeGoldenGrid(t)
+	logPath := filepath.Join(dir, "sweep.ndjson")
+
+	first := config{gridPath: gridPath, workers: 2, quiet: true, check: true, streamPath: logPath}
+	var stdout, stderr bytes.Buffer
+	if err := run(first, &stdout, &stderr); err != nil {
+		t.Fatalf("stream: %v\nstderr: %s", err, stderr.String())
+	}
+	committed := truncateMidRecord(t, logPath)
+	if committed >= 4 {
+		t.Fatalf("truncation left %d committed records, want < 4", committed)
+	}
+
+	second := config{
+		gridPath:   gridPath,
+		workers:    2,
+		quiet:      true,
+		check:      true,
+		resumePath: logPath,
+		csvPath:    filepath.Join(dir, "runs.csv"),
+		groupsPath: filepath.Join(dir, "groups.csv"),
+		jsonPath:   filepath.Join(dir, "sweep.json"),
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if err := run(second, &stdout, &stderr); err != nil {
+		t.Fatalf("resume: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "torn trailing record") {
+		t.Fatalf("resume never announced the torn tail:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), fmt.Sprintf("(%d resumed from log)", committed)) {
+		t.Fatalf("resume did not credit the %d committed records:\n%s", committed, stderr.String())
+	}
+
+	f, err := os.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	log, err := mptcpsim.ReadRunLog(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Torn() || len(log.Runs) != 4 || len(log.Indices()) != 4 {
+		t.Fatalf("resumed log: torn=%v records=%d indices=%d, want clean 4/4",
+			log.Torn(), len(log.Runs), len(log.Indices()))
+	}
+	compareOutputsGolden(t, dir, stdout.String())
+}
+
+// TestRunResumeProgress checks the progress meter across a resume: the
+// final heartbeat must account for the whole grid, not just the runs this
+// execution performed.
+func TestRunResumeProgress(t *testing.T) {
+	dir, gridPath := writeGoldenGrid(t)
+	logPath := filepath.Join(dir, "sweep.ndjson")
+	var stdout, stderr bytes.Buffer
+	if err := run(config{gridPath: gridPath, workers: 2, quiet: true, streamPath: logPath},
+		&stdout, &stderr); err != nil {
+		t.Fatalf("stream: %v\nstderr: %s", err, stderr.String())
+	}
+	truncateMidRecord(t, logPath)
+
+	cfg := config{
+		gridPath:     gridPath,
+		workers:      2,
+		quiet:        true,
+		resumePath:   logPath,
+		progressPath: filepath.Join(dir, "progress.ndjson"),
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if err := run(cfg, &stdout, &stderr); err != nil {
+		t.Fatalf("resume: %v\nstderr: %s", err, stderr.String())
+	}
+	raw, err := os.ReadFile(cfg.progressPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	var hb struct {
+		Done  int `json:"done"`
+		Total int `json:"total"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &hb); err != nil {
+		t.Fatalf("final heartbeat: %v: %s", err, lines[len(lines)-1])
+	}
+	if hb.Done != 4 || hb.Total != 4 {
+		t.Fatalf("final heartbeat done/total = %d/%d, want 4/4 across the resume", hb.Done, hb.Total)
+	}
+}
+
+// TestRunStreamShardMixedMerge splits the golden grid into one streamed
+// shard (NDJSON run-log) and one classic shard artifact (JSON), then
+// merges the mix — the output must match the unsharded goldens exactly.
+func TestRunStreamShardMixedMerge(t *testing.T) {
+	dir, gridPath := writeGoldenGrid(t)
+
+	streamed := config{gridPath: gridPath, workers: 1, quiet: true, check: true,
+		shard: "0/2", streamPath: filepath.Join(dir, "shard-0.ndjson")}
+	var stdout, stderr bytes.Buffer
+	if err := run(streamed, &stdout, &stderr); err != nil {
+		t.Fatalf("streamed shard: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "wrote "+streamed.streamPath) {
+		t.Fatalf("streamed shard never announced its artifact:\n%s", stdout.String())
+	}
+
+	classic := config{gridPath: gridPath, workers: 2, quiet: true, check: true,
+		shard: "1/2", outPath: filepath.Join(dir, "shard-1.json")}
+	stdout.Reset()
+	stderr.Reset()
+	if err := run(classic, &stdout, &stderr); err != nil {
+		t.Fatalf("classic shard: %v\nstderr: %s", err, stderr.String())
+	}
+
+	merge := config{
+		merge:      true,
+		shardPaths: []string{streamed.streamPath, classic.outPath},
+		csvPath:    filepath.Join(dir, "runs.csv"),
+		groupsPath: filepath.Join(dir, "groups.csv"),
+		jsonPath:   filepath.Join(dir, "sweep.json"),
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if err := run(merge, &stdout, &stderr); err != nil {
+		t.Fatalf("mixed merge: %v\nstderr: %s", err, stderr.String())
+	}
+	compareOutputsGolden(t, dir, stdout.String())
+}
+
+// TestRunStreamFlagDiagnostics exercises the fail-fast checks around the
+// stream/resume flag surface, including the resume-against-the-wrong-grid
+// guard and merging a torn log.
+func TestRunStreamFlagDiagnostics(t *testing.T) {
+	dir, gridPath := writeGoldenGrid(t)
+
+	// A committed log for the default paper grid: resuming it against the
+	// golden grid must refuse with a digest diagnostic, and a torn copy
+	// must refuse to merge.
+	logPath := filepath.Join(dir, "other.ndjson")
+	var stdout, stderr bytes.Buffer
+	if err := run(config{workers: 2, quiet: true, duration: 100 * 1e6, streamPath: logPath},
+		&stdout, &stderr); err != nil {
+		t.Fatalf("seed log: %v\nstderr: %s", err, stderr.String())
+	}
+	tornPath := filepath.Join(dir, "torn.ndjson")
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tornPath, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string]struct {
+		cfg  config
+		want string
+	}{
+		"stream with resume": {
+			config{gridPath: gridPath, streamPath: "a.ndjson", resumePath: "b.ndjson", quiet: true},
+			"exactly one",
+		},
+		"stream with out": {
+			config{gridPath: gridPath, streamPath: "a.ndjson", outPath: "a.json", quiet: true},
+			"no -out",
+		},
+		"streamed shard with aggregate output": {
+			config{gridPath: gridPath, shard: "0/2", streamPath: filepath.Join(dir, "s.ndjson"),
+				jsonPath: filepath.Join(dir, "x.json"), quiet: true},
+			"-merge",
+		},
+		"merge with stream": {
+			config{merge: true, streamPath: "a.ndjson", shardPaths: []string{"x.json"}},
+			"-stream",
+		},
+		"resume against different grid": {
+			config{gridPath: gridPath, resumePath: logPath, quiet: true},
+			"digest",
+		},
+		"merge of torn log": {
+			config{merge: true, shardPaths: []string{tornPath}},
+			"-resume",
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(tc.cfg, &stdout, &stderr)
+			if err == nil {
+				t.Fatal("run accepted a broken flag combination")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -49,6 +49,9 @@ type Meter struct {
 	lastEmit time.Time
 	done     int
 	failed   int
+	// records counts Record calls this execution — done minus any Resume
+	// baseline — so the EWMA seeds from the first run actually measured.
+	records int
 	// ewmaDt is the smoothed seconds-per-completion (aggregate over the
 	// pool, so ETA needs no worker-count correction).
 	ewmaDt float64
@@ -71,6 +74,19 @@ func NewMeter(w io.Writer, total, workers int, interval time.Duration) *Meter {
 	return m
 }
 
+// Resume seeds the meter with runs completed by an earlier, interrupted
+// execution (a resumed run-log): heartbeats count done and failed from
+// this baseline against the full total, so progress stays correct across
+// resume, while the completion-rate EWMA — and therefore the ETA — is
+// built only from runs this execution actually performs. Call it before
+// the first Record.
+func (m *Meter) Resume(done, failed int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.done += done
+	m.failed += failed
+}
+
 // Record notes one completed run and emits a heartbeat if the interval has
 // elapsed since the last one.
 func (m *Meter) Record(failed bool) error {
@@ -78,11 +94,12 @@ func (m *Meter) Record(failed bool) error {
 	defer m.mu.Unlock()
 	now := m.now()
 	m.done++
+	m.records++
 	if failed {
 		m.failed++
 	}
 	dt := now.Sub(m.last).Seconds()
-	if m.done == 1 {
+	if m.records == 1 {
 		m.ewmaDt = dt
 	} else {
 		m.ewmaDt = (1-ewmaAlpha)*m.ewmaDt + ewmaAlpha*dt

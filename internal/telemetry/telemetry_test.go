@@ -375,3 +375,47 @@ func TestDebugServer(t *testing.T) {
 		t.Fatalf("/debug/vars not reading the re-activated meter:\n%s", vars)
 	}
 }
+
+// TestMeterResume seeds a meter with a prior execution's progress (a
+// resumed run-log) and checks heartbeats count done/failed from that
+// baseline against the full total, while the ETA is built only from the
+// rate this execution actually measures.
+func TestMeterResume(t *testing.T) {
+	var buf bytes.Buffer
+	m, clock := newTestMeter(&buf, 10, 1, 0)
+	m.Resume(6, 2) // 6 of 10 already on disk, 2 of them failed
+
+	clock.advance(2 * time.Second)
+	m.Record(false)
+	var first Heartbeat
+	if err := json.Unmarshal([]byte(strings.SplitN(buf.String(), "\n", 2)[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Done != 7 || first.Total != 10 || first.Failed != 2 {
+		t.Fatalf("first heartbeat done/total/failed = %d/%d/%d, want 7/10/2",
+			first.Done, first.Total, first.Failed)
+	}
+	// The EWMA must seed from this execution's first inter-completion gap
+	// (2s), not blend it against a zero baseline as a done-count seed
+	// would: 3 remaining runs at 2s each.
+	if first.RunsPerS != 0.5 || first.EtaS != 6 {
+		t.Fatalf("first heartbeat runs/s=%v eta=%v, want 0.5/6 (session-local rate)",
+			first.RunsPerS, first.EtaS)
+	}
+
+	clock.advance(2 * time.Second)
+	m.Record(true)
+	clock.advance(2 * time.Second)
+	m.Record(false)
+	clock.advance(2 * time.Second)
+	m.Record(false)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	var final Heartbeat
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.Done != 10 || final.Failed != 3 || final.EtaS != 0 {
+		t.Fatalf("final heartbeat done/failed/eta = %d/%d/%v, want 10/3/0",
+			final.Done, final.Failed, final.EtaS)
+	}
+}

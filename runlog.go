@@ -1,0 +1,298 @@
+package mptcpsim
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// RunLogVersion is the current run-log schema version, carried in every
+// header so readers can refuse logs from a future schema loudly.
+const RunLogVersion = 1
+
+// DefaultSyncBatch is the LogSink fsync batch size: the number of records
+// between durability barriers when LogOptions.SyncEvery is unset. A crash
+// loses at most this many trailing records (plus one torn one), all of
+// which resume re-executes.
+const DefaultSyncBatch = 32
+
+// RunLogHeader is the first NDJSON line of a run-log: the shard-artifact
+// metadata (grid digest, shard coordinates, grid total) that makes the log
+// mergeable through the same validated path as ShardResult artifacts. The
+// run_log field doubles as the format sniffing key — shard JSON artifacts
+// have no such field, so a reader can tell the two apart from the first
+// line alone.
+type RunLogHeader struct {
+	// Version is the run-log schema version (RunLogVersion).
+	Version int `json:"run_log"`
+	// GridDigest is the canonical digest of the expanded grid (see
+	// ShardResult.GridDigest); logs merge with other artifacts only when
+	// their digests agree.
+	GridDigest string `json:"grid_digest"`
+	// K and N are the shard coordinates (0/1 for a whole-grid sweep).
+	K int `json:"k"`
+	N int `json:"n"`
+	// Total is the run count of the whole grid, not just this shard.
+	Total int `json:"total"`
+}
+
+// Validate reports whether the header describes a usable run-log.
+func (h RunLogHeader) Validate() error {
+	if h.Version != RunLogVersion {
+		return fmt.Errorf("mptcpsim: run-log version %d (this build reads %d)", h.Version, RunLogVersion)
+	}
+	if err := (Shard{K: h.K, N: h.N}).Validate(); err != nil {
+		return err
+	}
+	if h.Total < 0 {
+		return fmt.Errorf("mptcpsim: run-log reports negative total %d", h.Total)
+	}
+	return nil
+}
+
+// RunRecord is one NDJSON body line of a run-log: the canonical record of
+// one completed run — the summary (which carries the global index and all
+// cell labels) plus, optionally, the run's canonical Result hash.
+type RunRecord struct {
+	Run RunSummary `json:"run"`
+	// Hash is the canonical Result hash (LogOptions.Hash; empty for failed
+	// runs) — the cross-machine replay check shard artifacts carry under
+	// Keep, without retaining any Result.
+	Hash string `json:"hash,omitempty"`
+}
+
+// LogOptions configures a LogSink.
+type LogOptions struct {
+	// Hash records each successful run's canonical Result hash in its
+	// record, computed as the run completes and retained nowhere else.
+	Hash bool
+	// Sync, when set, is invoked at every durability barrier — after each
+	// SyncEvery records, on Flush and on Close. Pass (*os.File).Sync for a
+	// crash-durable log; leave nil for buffers and pipes.
+	Sync func() error
+	// SyncEvery is the number of records between durability barriers;
+	// 0 means DefaultSyncBatch.
+	SyncEvery int
+	// Resume suppresses the header line: the sink appends to a log whose
+	// header is already on disk.
+	Resume bool
+}
+
+// LogSink streams one canonical NDJSON record per completed run — the
+// append-only run-log behind flat-memory mega-sweeps. Records are written
+// in completion order (consumers order by index; ReadRunLog plus
+// MergeShards reproduces expansion order exactly), buffered, and fsync'd
+// in batches when the destination supports it. Nothing is retained per
+// run, so peak memory is flat in grid size.
+type LogSink struct {
+	w     *bufio.Writer
+	enc   *json.Encoder
+	opt   LogOptions
+	since int
+}
+
+// NewLogSink returns a sink writing the run-log to w. Unless opt.Resume is
+// set, the header line is written (and synced) immediately, so even a
+// sweep killed before its first completion leaves a resumable log.
+func NewLogSink(w io.Writer, h RunLogHeader, opt LogOptions) (*LogSink, error) {
+	if h.Version == 0 {
+		h.Version = RunLogVersion
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.SyncEvery <= 0 {
+		opt.SyncEvery = DefaultSyncBatch
+	}
+	bw := bufio.NewWriter(w)
+	s := &LogSink{w: bw, enc: json.NewEncoder(bw), opt: opt}
+	if !opt.Resume {
+		if err := s.enc.Encode(h); err != nil {
+			return nil, err
+		}
+		if err := s.barrier(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *LogSink) Accept(done, total int, sum RunSummary, full *Result) error {
+	rec := RunRecord{Run: sum}
+	if s.opt.Hash && full != nil && sum.Err == "" {
+		rec.Hash = full.Hash()
+	}
+	if err := s.enc.Encode(rec); err != nil {
+		return err
+	}
+	s.since++
+	if s.since >= s.opt.SyncEvery {
+		return s.barrier()
+	}
+	return nil
+}
+
+// barrier flushes the buffer and, when configured, fsyncs.
+func (s *LogSink) barrier() error {
+	s.since = 0
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	if s.opt.Sync != nil {
+		return s.opt.Sync()
+	}
+	return nil
+}
+
+// Flush forces every buffered record onto the destination, through the
+// fsync when one is configured.
+func (s *LogSink) Flush() error { return s.barrier() }
+
+// Close finalises the log. The underlying writer (typically a file the
+// caller opened) stays open — closing it is the caller's job.
+func (s *LogSink) Close() error { return s.barrier() }
+
+// RunLog is a parsed run-log: the header, every complete record, and the
+// position of a torn trailing record if the log was cut mid-write.
+type RunLog struct {
+	Header RunLogHeader
+	Runs   []RunRecord
+	// TornTail is the byte offset where a torn (incomplete or
+	// unterminated) final record begins, -1 when the log ends cleanly.
+	// Resume truncates the file here and re-executes the torn run; a merge
+	// must refuse the log until then.
+	TornTail int64
+}
+
+// Torn reports whether the log ends in a torn record.
+func (l *RunLog) Torn() bool { return l.TornTail >= 0 }
+
+// Indices returns the set of run indices the log records — the resume
+// skip set.
+func (l *RunLog) Indices() map[int]bool {
+	done := make(map[int]bool, len(l.Runs))
+	for _, rec := range l.Runs {
+		done[rec.Run.Index] = true
+	}
+	return done
+}
+
+// Errs counts failed runs in the log.
+func (l *RunLog) Errs() int {
+	n := 0
+	for _, rec := range l.Runs {
+		if rec.Run.Err != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// ShardResult converts the log into the mergeable artifact form, so
+// run-logs flow through the same validated merge path (digest agreement,
+// exactly-once index coverage) as shard JSON artifacts — including mixed
+// with them. Hashes are carried when the log recorded any.
+func (l *RunLog) ShardResult() *ShardResult {
+	sr := &ShardResult{
+		GridDigest: l.Header.GridDigest,
+		K:          l.Header.K,
+		N:          l.Header.N,
+		Total:      l.Header.Total,
+		Runs:       make([]RunSummary, len(l.Runs)),
+	}
+	hashed := false
+	for i, rec := range l.Runs {
+		sr.Runs[i] = rec.Run
+		if rec.Hash != "" {
+			hashed = true
+		}
+	}
+	if hashed {
+		sr.Hashes = make([]string, len(l.Runs))
+		for i, rec := range l.Runs {
+			sr.Hashes[i] = rec.Hash
+		}
+	}
+	return sr
+}
+
+// ReadRunLog parses a run-log written by LogSink. A torn trailing record —
+// the final line unparseable or missing its newline, the signature of a
+// killed writer — is not an error: it is reported via TornTail so resume
+// can truncate and rewrite it. Corruption anywhere else (a bad mid-file
+// line, a duplicate index, an unknown field) is an error: an append-only
+// single-writer log never produces it, so it means the file is not what
+// the caller thinks it is.
+func ReadRunLog(r io.Reader) (*RunLog, error) {
+	br := bufio.NewReader(r)
+	log := &RunLog{TornTail: -1}
+	var offset int64
+	line, err := br.ReadBytes('\n')
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("mptcpsim: run-log: %w", err)
+	}
+	if len(bytes.TrimSpace(line)) == 0 {
+		return nil, fmt.Errorf("mptcpsim: run-log: empty file (no header)")
+	}
+	if err == io.EOF {
+		// A header without its newline is a writer killed mid-header;
+		// nothing usable follows, so treat the whole file as torn.
+		log.TornTail = 0
+		return log, nil
+	}
+	if uerr := unmarshalStrict(line, &log.Header); uerr != nil {
+		return nil, fmt.Errorf("mptcpsim: run-log header: %w", uerr)
+	}
+	if verr := log.Header.Validate(); verr != nil {
+		return nil, verr
+	}
+	offset += int64(len(line))
+
+	seen := make(map[int]bool)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("mptcpsim: run-log: %w", err)
+		}
+		if len(line) == 0 && err == io.EOF {
+			return log, nil
+		}
+		var rec RunRecord
+		if uerr := unmarshalStrict(line, &rec); uerr != nil || err == io.EOF {
+			// Unparseable or unterminated final line: the torn tail. An
+			// unterminated line that still parses is treated as torn too —
+			// the trailing newline is the record's commit mark, and
+			// re-running one run is cheaper than trusting an uncommitted
+			// record.
+			if err == io.EOF {
+				log.TornTail = offset
+				return log, nil
+			}
+			return nil, fmt.Errorf("mptcpsim: run-log record %d: %w", len(log.Runs), uerr)
+		}
+		if seen[rec.Run.Index] {
+			return nil, fmt.Errorf("mptcpsim: run-log records index %d twice", rec.Run.Index)
+		}
+		seen[rec.Run.Index] = true
+		log.Runs = append(log.Runs, rec)
+		offset += int64(len(line))
+	}
+}
+
+// unmarshalStrict decodes one JSON value rejecting unknown fields — the
+// same schema discipline LoadShard applies, so a log from a newer schema
+// fails loudly instead of merging with fields silently dropped.
+func unmarshalStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	// Trailing garbage after the value means the line is not one record.
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("trailing data after record")
+	}
+	return nil
+}

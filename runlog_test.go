@@ -1,0 +1,311 @@
+package mptcpsim
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// streamToLog runs the grid through Stream with a LogSink into a buffer
+// and returns the raw log bytes.
+func streamToLog(t *testing.T, s *Sweep, g *Grid, opt LogOptions) []byte {
+	t.Helper()
+	digest, total, err := s.Describe(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sink, err := NewLogSink(&buf, RunLogHeader{GridDigest: digest, N: 1, Total: total}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stream(g, StreamSpec{}, sink); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLogSinkRoundTrip streams a sweep into a run-log and reads it back:
+// header intact, one record per run with exactly-once index coverage, no
+// torn tail, and hashes recorded when requested.
+func TestLogSinkRoundTrip(t *testing.T) {
+	s := &Sweep{Workers: 4}
+	raw := streamToLog(t, s, sweepGrid(), LogOptions{Hash: true})
+
+	log, err := ReadRunLog(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Torn() {
+		t.Fatalf("clean log reports torn tail at %d", log.TornTail)
+	}
+	if log.Header.Version != RunLogVersion || log.Header.N != 1 || log.Header.Total != 4 {
+		t.Fatalf("header round-trip: %+v", log.Header)
+	}
+	if len(log.Runs) != 4 || len(log.Indices()) != 4 {
+		t.Fatalf("log has %d records over %d indices, want 4/4", len(log.Runs), len(log.Indices()))
+	}
+	for _, rec := range log.Runs {
+		if rec.Hash == "" {
+			t.Fatalf("run %d logged without its hash", rec.Run.Index)
+		}
+	}
+	if log.Errs() != 0 {
+		t.Fatalf("log counts %d errors for a passing grid", log.Errs())
+	}
+}
+
+// TestLogSinkSyncBatching counts durability barriers: one for the header,
+// then one per SyncEvery records plus the final Close flush.
+func TestLogSinkSyncBatching(t *testing.T) {
+	syncs := 0
+	s := &Sweep{Workers: 1}
+	_ = streamToLog(t, s, sweepGrid(), LogOptions{
+		SyncEvery: 2,
+		Sync:      func() error { syncs++; return nil },
+	})
+	// Header barrier + records 2 and 4 + Close = 4. (Close lands on an
+	// empty batch here, but it must still barrier: the final records in a
+	// partial batch have to reach the disk.)
+	if syncs != 4 {
+		t.Fatalf("4 runs with SyncEvery=2 hit %d sync barriers, want 4", syncs)
+	}
+}
+
+// TestRunLogMergesWithShardArtifacts is the mixed-format half of the merge
+// contract at the library level: one shard as a JSON-round-tripped
+// ShardResult, the other as a streamed run-log, merged together, must
+// reproduce the unsharded sweep byte-identically in all four formats.
+func TestRunLogMergesWithShardArtifacts(t *testing.T) {
+	grid := sweepGrid
+	s := &Sweep{Workers: 2}
+	full, err := s.Run(grid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(t, full)
+
+	sr0, err := s.RunShard(grid(), Shard{K: 0, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var disk bytes.Buffer
+	if err := sr0.WriteJSON(&disk); err != nil {
+		t.Fatal(err)
+	}
+	sr0, err = LoadShard(&disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	digest, total, err := s.Describe(grid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sink, err := NewLogSink(&buf, RunLogHeader{GridDigest: digest, K: 1, N: 2, Total: total}, LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stream(grid(), StreamSpec{Shard: Shard{K: 1, N: 2}}, sink); err != nil {
+		t.Fatal(err)
+	}
+	log, err := ReadRunLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	merged, err := MergeShards(sr0, log.ShardResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := renderAll(t, merged)
+	for name, w := range want {
+		if !bytes.Equal(got[name], w) {
+			t.Errorf("mixed-format merge differs from unsharded sweep in %s", name)
+		}
+	}
+}
+
+// TestStreamSkipResumesExactlyOnce drives the library resume loop: stream
+// half the grid, then stream again skipping the logged indices into the
+// same buffer (Resume mode), and check the concatenated log covers every
+// index exactly once.
+func TestStreamSkipResumesExactlyOnce(t *testing.T) {
+	s := &Sweep{Workers: 2}
+	grid := sweepGrid()
+	digest, total, err := s.Describe(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := RunLogHeader{GridDigest: digest, N: 1, Total: total}
+
+	var buf bytes.Buffer
+	sink, err := NewLogSink(&buf, header, LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stream(grid, StreamSpec{Skip: func(i int) bool { return i%2 == 0 }}, sink); err != nil {
+		t.Fatal(err)
+	}
+	log, err := ReadRunLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Runs) != 2 {
+		t.Fatalf("first pass logged %d of 2 odd-index runs", len(log.Runs))
+	}
+
+	skip := log.Indices()
+	sink, err = NewLogSink(&buf, header, LogOptions{Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stream(grid, StreamSpec{Skip: func(i int) bool { return skip[i] }}, sink); err != nil {
+		t.Fatal(err)
+	}
+	log, err = ReadRunLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Runs) != total || len(log.Indices()) != total {
+		t.Fatalf("resumed log has %d records over %d indices, want %d each",
+			len(log.Runs), len(log.Indices()), total)
+	}
+	if _, err := MergeShards(log.ShardResult()); err != nil {
+		t.Fatalf("resumed log does not merge: %v", err)
+	}
+}
+
+// TestReadRunLogTornTail pins the crash-recovery semantics: the trailing
+// newline is a record's commit mark, so any truncation point inside (or at
+// the end of) the final line is a resumable torn tail at the right byte
+// offset — while corruption that a killed single writer cannot produce is
+// a hard error.
+func TestReadRunLogTornTail(t *testing.T) {
+	s := &Sweep{Workers: 1}
+	raw := streamToLog(t, s, sweepGrid(), LogOptions{})
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	lines = lines[:len(lines)-1] // drop the empty tail of SplitAfter
+	if len(lines) != 5 {
+		t.Fatalf("log has %d lines, want header + 4 records", len(lines))
+	}
+	lastStart := int64(len(raw) - len(lines[4]))
+
+	// Every truncation point inside the final record — from one byte in to
+	// one byte short of the committing newline, and even the fully parseable
+	// unterminated line — is the same torn tail.
+	for _, cut := range []int{1, len(lines[4]) / 2, len(lines[4]) - 1} {
+		log, err := ReadRunLog(bytes.NewReader(raw[:int(lastStart)+cut]))
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !log.Torn() || log.TornTail != lastStart {
+			t.Fatalf("cut %d: torn=%v tail=%d, want torn at %d", cut, log.Torn(), log.TornTail, lastStart)
+		}
+		if len(log.Runs) != 3 {
+			t.Fatalf("cut %d: %d committed records survive, want 3", cut, len(log.Runs))
+		}
+	}
+
+	// A header cut before its newline: the whole file is torn at 0.
+	log, err := ReadRunLog(bytes.NewReader(raw[:len(lines[0])-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !log.Torn() || log.TornTail != 0 {
+		t.Fatalf("mid-header cut: torn=%v tail=%d, want torn at 0", log.Torn(), log.TornTail)
+	}
+
+	// A clean log read normally.
+	if log, err := ReadRunLog(bytes.NewReader(raw)); err != nil || log.Torn() {
+		t.Fatalf("clean log: err=%v torn=%v", err, log.Torn())
+	}
+}
+
+// TestReadRunLogRejectsCorruption enumerates the non-resumable cases.
+func TestReadRunLogRejectsCorruption(t *testing.T) {
+	s := &Sweep{Workers: 1}
+	raw := streamToLog(t, s, sweepGrid(), LogOptions{})
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	lines = lines[:len(lines)-1]
+
+	cases := []struct {
+		name string
+		muck func() []byte
+		want string
+	}{
+		{"empty file", func() []byte { return nil }, "empty file"},
+		{"garbage header", func() []byte {
+			return append([]byte("not json\n"), bytes.Join(lines[1:], nil)...)
+		}, "run-log header"},
+		{"mid-file garbage line", func() []byte {
+			out := bytes.Join(lines[:2], nil)
+			out = append(out, []byte("{broken\n")...)
+			return append(out, bytes.Join(lines[2:], nil)...)
+		}, "run-log record"},
+		{"duplicate index", func() []byte {
+			out := append([]byte{}, raw...)
+			return append(out, lines[2]...)
+		}, "twice"},
+		{"unknown field", func() []byte {
+			out := bytes.Join(lines[:4], nil)
+			return append(out, []byte(`{"run":{"index":3},"surprise":1}`+"\n")...)
+		}, "surprise"},
+		{"future version", func() []byte {
+			h := bytes.Replace(lines[0], []byte(`"run_log":1`), []byte(`"run_log":99`), 1)
+			return append(h, bytes.Join(lines[1:], nil)...)
+		}, "version 99"},
+	}
+	for _, tc := range cases {
+		_, err := ReadRunLog(bytes.NewReader(tc.muck()))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestStreamRejectsKeep pins the pointed diagnostic for the one sink
+// configuration streaming cannot honour.
+func TestStreamRejectsKeep(t *testing.T) {
+	s := &Sweep{Keep: true}
+	err := s.Stream(sweepGrid(), StreamSpec{}, &MemorySink{})
+	if err == nil || !strings.Contains(err.Error(), "Keep") {
+		t.Fatalf("Stream with Keep: err = %v, want a Keep diagnostic", err)
+	}
+}
+
+// TestStreamPoisonsOnSinkError checks the first sink error surfaces from
+// Stream while the remaining runs still drain.
+func TestStreamPoisonsOnSinkError(t *testing.T) {
+	s := &Sweep{Workers: 2}
+	fail := &failingSink{failAt: 2}
+	err := s.Stream(sweepGrid(), StreamSpec{}, fail)
+	if err == nil || !strings.Contains(err.Error(), "sink full") {
+		t.Fatalf("err = %v, want the sink's own error", err)
+	}
+	if fail.accepts != 2 {
+		t.Fatalf("sink accepted %d deliveries after erroring at 2", fail.accepts)
+	}
+	if !fail.closed {
+		t.Fatal("Stream did not Close the sink after the error")
+	}
+}
+
+type failingSink struct {
+	failAt  int
+	accepts int
+	closed  bool
+}
+
+func (f *failingSink) Accept(done, total int, s RunSummary, full *Result) error {
+	f.accepts++
+	if f.accepts >= f.failAt {
+		return fmt.Errorf("sink full")
+	}
+	return nil
+}
+
+func (f *failingSink) Flush() error { return nil }
+func (f *failingSink) Close() error { f.closed = true; return nil }

@@ -128,46 +128,57 @@ func (s *Sweep) RunShard(g *Grid, shard Shard) (*ShardResult, error) {
 	if err := shard.Validate(); err != nil {
 		return nil, err
 	}
-	specs, err := g.Expand()
+	specs, digest, err := s.expandFolded(g)
 	if err != nil {
 		return nil, err
 	}
-	// Fold the sweep-level oracle flag into the per-run options before
-	// digesting: a run whose invariant violation becomes its Err is not
-	// the same run as an unvalidated one, so shards swept with different
-	// ValidateInvariants settings must refuse to merge rather than mix
-	// provenance under one digest.
-	if s.ValidateInvariants {
-		for i := range specs {
-			specs[i].Options.ValidateInvariants = true
-		}
-	}
-	digest := specsDigest(specs)
 	var mine []RunSpec
 	for _, sp := range specs {
 		if sp.Index%shard.N == shard.K {
 			mine = append(mine, sp)
 		}
 	}
-	// The telemetry rollup (third return) is dropped: shard artifacts keep
-	// their pre-telemetry byte layout so mixed-version fleets still merge.
-	runs, results, _ := s.execute(mine)
+	// No telemetry rollup sink here: shard artifacts keep their
+	// pre-telemetry byte layout so mixed-version fleets still merge.
+	mem := &MemorySink{Keep: s.Keep}
+	if err := s.execute(mine, mem); err != nil {
+		return nil, err
+	}
+	mem.sort()
 	sr := &ShardResult{
 		GridDigest: digest,
 		K:          shard.K,
 		N:          shard.N,
 		Total:      len(specs),
-		Runs:       runs,
+		Runs:       mem.runs,
 	}
 	if s.Keep {
-		sr.Hashes = make([]string, len(results))
-		for i, r := range results {
+		sr.Hashes = make([]string, len(mem.results))
+		for i, r := range mem.results {
 			if r != nil {
 				sr.Hashes[i] = r.Hash()
 			}
 		}
 	}
 	return sr, nil
+}
+
+// expandFolded expands the grid with the sweep-level oracle flag folded
+// into every spec before digesting: a run whose invariant violation
+// becomes its Err is not the same run as an unvalidated one, so shards
+// swept with different ValidateInvariants settings must refuse to merge
+// rather than mix provenance under one digest.
+func (s *Sweep) expandFolded(g *Grid) ([]RunSpec, string, error) {
+	specs, err := g.Expand()
+	if err != nil {
+		return nil, "", err
+	}
+	if s.ValidateInvariants {
+		for i := range specs {
+			specs[i].Options.ValidateInvariants = true
+		}
+	}
+	return specs, specsDigest(specs), nil
 }
 
 // MergeShards reassembles shard artifacts into the SweepResult of the

@@ -1,0 +1,266 @@
+package mptcpsim
+
+import (
+	"sort"
+
+	"mptcpsim/internal/stats"
+	"mptcpsim/internal/telemetry"
+)
+
+// RunSink is the single results surface of a sweep: every execution path
+// (Run, RunShard, Stream) feeds exactly one sink chain, and everything
+// else — the in-memory SweepResult, NDJSON run-logs, online aggregation,
+// the deprecated OnResult/OnFailure hooks — is a sink over that path.
+//
+// Accept is called exactly once per executed run, serialised under the
+// sweep's completion lock: implementations need no locking of their own,
+// done increases by exactly one per call, and done == total exactly when
+// the last run lands. Runs arrive in completion order, not index order;
+// sinks that need expansion order sort by RunSummary.Index. full is the
+// run's complete Result when one exists (always for completed runs; for
+// failed runs only when telemetry captured a partial result) and is
+// released to the garbage collector as soon as Accept returns — a sink
+// must copy what it needs and must not retain full unless retention is
+// its purpose, or sweep memory stops being flat in grid size.
+//
+// The first Accept error poisons the sweep: remaining runs still execute
+// (the worker pool is not cancelled) but are no longer delivered, and the
+// error is returned from the sweep entry point.
+type RunSink interface {
+	Accept(done, total int, s RunSummary, full *Result) error
+	// Flush forces any buffered state through to its destination (for
+	// durable sinks, onto the disk).
+	Flush() error
+	// Close finalises the sink after the last Accept; Close implies Flush.
+	// The sweep entry point that was handed the sink calls Close exactly
+	// once, even when a run or an Accept failed.
+	Close() error
+}
+
+// MultiSink fans every Accept, Flush and Close out to each sink in order.
+// All sinks see every call even when an earlier one errors; the first
+// error is returned.
+func MultiSink(sinks ...RunSink) RunSink { return multiSink(sinks) }
+
+type multiSink []RunSink
+
+func (m multiSink) Accept(done, total int, s RunSummary, full *Result) error {
+	var first error
+	for _, sink := range m {
+		if err := sink.Accept(done, total, s, full); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (m multiSink) Flush() error {
+	var first error
+	for _, sink := range m {
+		if err := sink.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (m multiSink) Close() error {
+	var first error
+	for _, sink := range m {
+		if err := sink.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// MemorySink accumulates every RunSummary (and, with Keep, every full
+// Result) and assembles them into the classic SweepResult — the sink
+// behind Sweep.Run, and the memory ceiling streaming sweeps exist to
+// avoid. Peak memory is linear in grid size.
+type MemorySink struct {
+	// Keep retains each run's full Result (memory heavy).
+	Keep bool
+
+	runs    []RunSummary
+	results []*Result
+	sorted  bool
+}
+
+func (m *MemorySink) Accept(done, total int, s RunSummary, full *Result) error {
+	m.runs = append(m.runs, s)
+	if m.Keep {
+		m.results = append(m.results, full)
+	}
+	m.sorted = false
+	return nil
+}
+
+func (m *MemorySink) Flush() error { return nil }
+func (m *MemorySink) Close() error { return nil }
+
+// sort reorders the accumulated runs (and retained results) from
+// completion order into expansion order. Indices are unique per sweep, so
+// the result is deterministic for any worker count.
+func (m *MemorySink) sort() {
+	if m.sorted {
+		return
+	}
+	perm := make([]int, len(m.runs))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		return m.runs[perm[a]].Index < m.runs[perm[b]].Index
+	})
+	runs := make([]RunSummary, len(m.runs))
+	for i, p := range perm {
+		runs[i] = m.runs[p]
+	}
+	m.runs = runs
+	if m.Keep {
+		results := make([]*Result, len(m.results))
+		for i, p := range perm {
+			results[i] = m.results[p]
+		}
+		m.results = results
+	}
+	m.sorted = true
+}
+
+// Result assembles the accumulated runs into a SweepResult, byte-for-byte
+// the value Sweep.Run has always produced: runs in expansion order, groups
+// and the overall gap recomputed from the full run list.
+func (m *MemorySink) Result() *SweepResult {
+	m.sort()
+	res := &SweepResult{Runs: m.runs, Results: m.results}
+	res.aggregate()
+	return res
+}
+
+// RollupSink folds each telemetry-enabled run's snapshot into a
+// sweep-wide telemetry rollup. Sums and maxima commute, so the rollup is
+// identical for any worker count; runs without a snapshot (telemetry off,
+// or aborted before producing one) are skipped.
+type RollupSink struct {
+	Rollup telemetry.Rollup
+}
+
+func (r *RollupSink) Accept(done, total int, s RunSummary, full *Result) error {
+	if full != nil {
+		r.Rollup.Add(full.Telemetry)
+	}
+	return nil
+}
+
+func (r *RollupSink) Flush() error { return nil }
+func (r *RollupSink) Close() error { return nil }
+
+// GroupAgg is one (scenario, perturbation, events, cc, scheduler) cell of
+// an AggSink: the online counterpart of GroupStats, summarising the cell
+// with streaming accumulators instead of retained samples.
+type GroupAgg struct {
+	Scenario     string `json:"scenario"`
+	Perturbation string `json:"perturbation"`
+	Events       string `json:"events,omitempty"`
+	CC           string `json:"cc"`
+	Scheduler    string `json:"scheduler"`
+	// Runs counts completed runs in the cell, Errors failed ones,
+	// Converged the runs that reached the optimum band.
+	Runs      int `json:"runs"`
+	Errors    int `json:"errors,omitempty"`
+	Converged int `json:"converged"`
+	// Gap, TotalMbps and ConvergedAtS summarise the per-run metrics
+	// (ConvergedAtS over converged runs only).
+	Gap          stats.Online `json:"gap"`
+	TotalMbps    stats.Online `json:"total_mbps"`
+	ConvergedAtS stats.Online `json:"converged_at_s"`
+
+	// minIndex is the cell's smallest run index — the deterministic sort
+	// key that reproduces first-appearance-in-expansion-order grouping no
+	// matter the completion order.
+	minIndex int
+}
+
+// AggSink folds runs into per-group online aggregates as they complete —
+// the flat-memory counterpart of SweepResult.Groups for live monitoring
+// of sweeps too large to hold. Means, deviations and extrema match the
+// end-of-sweep aggregation numerically (not bit-for-bit: Welford sums in
+// completion order); medians need the full sample and come from the
+// run-log second pass instead.
+type AggSink struct {
+	// Runs and Errors count completed and failed runs across the sweep.
+	Runs, Errors int
+	// Gap aggregates the optimality gap over every completed run.
+	Gap stats.Online
+
+	groups map[groupKey]*GroupAgg
+}
+
+type groupKey struct{ scenario, pert, events, cc, sched string }
+
+func (a *AggSink) Accept(done, total int, s RunSummary, full *Result) error {
+	if a.groups == nil {
+		a.groups = make(map[groupKey]*GroupAgg)
+	}
+	k := groupKey{s.Scenario, s.Perturbation, s.Events, s.CC, s.Scheduler}
+	g, ok := a.groups[k]
+	if !ok {
+		g = &GroupAgg{Scenario: s.Scenario, Perturbation: s.Perturbation,
+			Events: s.Events, CC: s.CC, Scheduler: s.Scheduler, minIndex: s.Index}
+		a.groups[k] = g
+	}
+	if s.Index < g.minIndex {
+		g.minIndex = s.Index
+	}
+	if s.Err != "" {
+		a.Errors++
+		g.Errors++
+		return nil
+	}
+	a.Runs++
+	g.Runs++
+	if s.Converged {
+		g.Converged++
+		g.ConvergedAtS.Add(s.ConvergedAtS)
+	}
+	g.Gap.Add(s.Gap)
+	g.TotalMbps.Add(s.TotalMbps)
+	a.Gap.Add(s.Gap)
+	return nil
+}
+
+func (a *AggSink) Flush() error { return nil }
+func (a *AggSink) Close() error { return nil }
+
+// Groups snapshots the cells in first-appearance-in-expansion order (the
+// order SweepResult.Groups uses), deterministic for any worker count.
+func (a *AggSink) Groups() []GroupAgg {
+	out := make([]GroupAgg, 0, len(a.groups))
+	for _, g := range a.groups {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].minIndex < out[j].minIndex })
+	return out
+}
+
+// hookSink adapts the deprecated Sweep.OnResult/OnFailure hooks onto the
+// sink path, preserving their documented contract: serialised, failure
+// callback before the result callback, monotone done counts.
+type hookSink struct {
+	onResult  func(done, total int, r RunSummary)
+	onFailure func(r RunSummary, res *Result)
+}
+
+func (h *hookSink) Accept(done, total int, s RunSummary, full *Result) error {
+	if h.onFailure != nil && s.Err != "" {
+		h.onFailure(s, full)
+	}
+	if h.onResult != nil {
+		h.onResult(done, total, s)
+	}
+	return nil
+}
+
+func (h *hookSink) Flush() error { return nil }
+func (h *hookSink) Close() error { return nil }

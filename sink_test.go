@@ -1,0 +1,197 @@
+package mptcpsim
+
+import (
+	"io"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"mptcpsim/internal/stats"
+)
+
+// TestAggSinkMatchesSweepGroups checks the online aggregation sink against
+// the retained-sample aggregation: same cells in the same order, equal
+// counts, and means/deviations/extrema matching to floating-point noise
+// (Welford sums in completion order, so bit-identity is not promised —
+// nor are medians, which need the full sample).
+func TestAggSinkMatchesSweepGroups(t *testing.T) {
+	grid := func() *Grid {
+		g := sweepGrid()
+		g.Perturbations = []Perturbation{{Name: "base"}, {Name: "lossy", Loss: 0.005}}
+		return g
+	}
+	res, err := (&Sweep{Workers: 4}).Run(grid())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	agg := &AggSink{}
+	if err := (&Sweep{Workers: 4}).Stream(grid(), StreamSpec{}, agg); err != nil {
+		t.Fatal(err)
+	}
+
+	close := func(a, b float64) bool { return math.Abs(a-b) <= 1e-9*(1+math.Abs(b)) }
+	if agg.Runs+agg.Errors != len(res.Runs) || agg.Errors != res.Errs() {
+		t.Fatalf("agg counted %d runs / %d errors, sweep has %d / %d",
+			agg.Runs, agg.Errors, len(res.Runs), res.Errs())
+	}
+	if !close(agg.Gap.Mean, res.Gap.Mean) || !close(agg.Gap.Std(), res.Gap.Std) {
+		t.Fatalf("overall gap: online mean/std %v/%v vs aggregate %v/%v",
+			agg.Gap.Mean, agg.Gap.Std(), res.Gap.Mean, res.Gap.Std)
+	}
+
+	groups := agg.Groups()
+	if len(groups) != len(res.Groups) {
+		t.Fatalf("agg has %d groups, sweep has %d", len(groups), len(res.Groups))
+	}
+	for i, g := range groups {
+		w := res.Groups[i]
+		if g.Scenario != w.Scenario || g.Perturbation != w.Perturbation ||
+			g.Events != w.Events || g.CC != w.CC || g.Scheduler != w.Scheduler {
+			t.Fatalf("group %d is cell %s/%s/%s/%s, sweep ordered %s/%s/%s/%s here",
+				i, g.Perturbation, g.Events, g.CC, g.Scheduler,
+				w.Perturbation, w.Events, w.CC, w.Scheduler)
+		}
+		if g.Runs != w.Runs || g.Errors != w.Errors || g.Converged != w.Converged {
+			t.Fatalf("group %d counts %d/%d/%d, want %d/%d/%d",
+				i, g.Runs, g.Errors, g.Converged, w.Runs, w.Errors, w.Converged)
+		}
+		for _, m := range []struct {
+			name string
+			on   stats.Online
+			agg  stats.Agg
+		}{
+			{"gap", g.Gap, w.Gap},
+			{"total_mbps", g.TotalMbps, w.TotalMbps},
+			{"converged_at_s", g.ConvergedAtS, w.ConvergedAtS},
+		} {
+			if !close(m.on.Mean, m.agg.Mean) || !close(m.on.Std(), m.agg.Std) ||
+				m.on.Min != m.agg.Min || m.on.Max != m.agg.Max {
+				t.Fatalf("group %d %s: online {mean %v std %v min %v max %v} vs aggregate {%v %v %v %v}",
+					i, m.name, m.on.Mean, m.on.Std(), m.on.Min, m.on.Max,
+					m.agg.Mean, m.agg.Std, m.agg.Min, m.agg.Max)
+			}
+		}
+	}
+}
+
+// checkingSink asserts the RunSink contract from inside: serialised
+// Accepts, done increasing by exactly one, exactly-once index coverage.
+type checkingSink struct {
+	t        *testing.T
+	inAccept int32
+	prevDone int
+	seen     map[int]bool
+	closed   int
+}
+
+func (c *checkingSink) Accept(done, total int, s RunSummary, full *Result) error {
+	if !atomic.CompareAndSwapInt32(&c.inAccept, 0, 1) {
+		c.t.Error("Accept ran concurrently with another Accept")
+	}
+	if done != c.prevDone+1 {
+		c.t.Errorf("done jumped from %d to %d", c.prevDone, done)
+	}
+	c.prevDone = done
+	if c.seen == nil {
+		c.seen = make(map[int]bool)
+	}
+	if c.seen[s.Index] {
+		c.t.Errorf("run %d delivered twice", s.Index)
+	}
+	c.seen[s.Index] = true
+	atomic.StoreInt32(&c.inAccept, 0)
+	return nil
+}
+
+func (c *checkingSink) Flush() error { return nil }
+func (c *checkingSink) Close() error { c.closed++; return nil }
+
+// TestStreamSinkContract drives a caller sink through Stream next to the
+// deprecated hook adapters and checks both see the full serialised,
+// exactly-once, done-monotone delivery — the contract the adapters must
+// preserve now that they ride the sink path.
+func TestStreamSinkContract(t *testing.T) {
+	check := &checkingSink{t: t}
+	hookDone := 0
+	s := &Sweep{
+		Workers: 8,
+		OnResult: func(done, total int, r RunSummary) {
+			if done != hookDone+1 {
+				t.Errorf("hook done jumped from %d to %d", hookDone, done)
+			}
+			hookDone = done
+		},
+	}
+	if err := s.Stream(sweepGrid(), StreamSpec{}, check); err != nil {
+		t.Fatal(err)
+	}
+	if check.prevDone != 4 || len(check.seen) != 4 || hookDone != 4 {
+		t.Fatalf("sink saw %d/%d, hook saw %d, want 4 everywhere",
+			check.prevDone, len(check.seen), hookDone)
+	}
+	if check.closed != 1 {
+		t.Fatalf("Stream closed the sink %d times, want exactly once", check.closed)
+	}
+}
+
+// heapSampler measures peak live heap across a sweep by forcing a collection
+// at every delivery — expensive, so test-only.
+type heapSampler struct {
+	peak uint64
+}
+
+func (h *heapSampler) Accept(done, total int, s RunSummary, full *Result) error {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > h.peak {
+		h.peak = ms.HeapAlloc
+	}
+	return nil
+}
+
+func (h *heapSampler) Flush() error { return nil }
+func (h *heapSampler) Close() error { return nil }
+
+// TestStreamFlatMemory is the flat-memory claim under measurement: a
+// streamed sweep over a 10x larger grid may not grow peak live heap more
+// than 2x. (An in-memory sweep retains every summary, so its peak grows
+// linearly; the streamed path retains nothing per run.)
+func TestStreamFlatMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heap measurement forces a GC per run")
+	}
+	peak := func(seeds int) uint64 {
+		g := &Grid{
+			CCs:        []string{"cubic"},
+			Orders:     [][]int{{2, 1, 3}},
+			DurationMs: 100,
+		}
+		for s := 1; s <= seeds; s++ {
+			g.Seeds = append(g.Seeds, int64(s))
+		}
+		sw := &Sweep{Workers: 2}
+		digest, total, err := sw.Describe(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logSink, err := NewLogSink(io.Discard, RunLogHeader{GridDigest: digest, N: 1, Total: total}, LogOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampler := &heapSampler{}
+		if err := sw.Stream(g, StreamSpec{}, MultiSink(logSink, sampler)); err != nil {
+			t.Fatal(err)
+		}
+		return sampler.peak
+	}
+	small := peak(4)
+	big := peak(40)
+	t.Logf("peak live heap: %d bytes over 4 runs, %d over 40", small, big)
+	if big > 2*small {
+		t.Fatalf("10x grid grew peak live heap %dx (%d -> %d bytes); streaming is supposed to be flat",
+			(big+small-1)/small, small, big)
+	}
+}

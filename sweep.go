@@ -683,11 +683,21 @@ type SweepResult struct {
 // run is an independent virtual-time simulation, so the sweep is
 // embarrassingly parallel; results land at their grid index, making the
 // output deterministic regardless of Workers.
+//
+// Every execution path feeds one RunSink chain (see RunSink): Run and
+// RunShard accumulate through a MemorySink, Stream feeds a caller-supplied
+// sink and retains nothing. The OnResult/OnFailure/Keep fields below are
+// thin adapter sinks over that same path, kept for compatibility.
 type Sweep struct {
 	// Workers is the goroutine pool size; 0 means GOMAXPROCS.
 	Workers int
 	// OnResult, when set, is called after each run completes (serialised;
 	// done counts finished runs). Use it to stream progress.
+	//
+	// Deprecated: OnResult is an adapter over the RunSink path; new
+	// consumers should pass a sink to Stream (or wrap one with MultiSink).
+	// The field keeps working and keeps its serialised, exactly-once,
+	// done-monotone contract.
 	OnResult func(done, total int, r RunSummary)
 	// OnFailure, when set, is called for each failed run (serialised with
 	// OnResult, under the same lock). res is the run's partial Result
@@ -695,8 +705,15 @@ type Sweep struct {
 	// mid-run abort — and nil when the run failed before producing one.
 	// cmd/sweep uses it to dump flight-recorder tails; cmd/sweepd will
 	// use it to stream failures off workers.
+	//
+	// Deprecated: like OnResult, OnFailure is an adapter over the RunSink
+	// path; a sink's Accept sees the same summary and partial result.
 	OnFailure func(r RunSummary, res *Result)
 	// Keep retains the full Result of every run in SweepResult.Results.
+	//
+	// Deprecated: Keep is the memory ceiling streaming sweeps remove; it
+	// remains for Run/RunShard but is rejected by Stream — a sink that
+	// consumes each full Result as it lands replaces it.
 	Keep bool
 	// ValidateInvariants turns every run into a self-checking one: the
 	// correctness oracle (see Options.ValidateInvariants) audits each run
@@ -712,23 +729,107 @@ type Sweep struct {
 // Run expands the grid and executes every point. Individual run failures
 // are recorded in the corresponding RunSummary.Err and do not abort the
 // sweep; only structural problems (bad grid, bad scenario) return an
-// error.
+// error. Memory is linear in grid size — for grids too large to hold,
+// use Stream.
 func (s *Sweep) Run(g *Grid) (*SweepResult, error) {
 	specs, err := g.Expand()
 	if err != nil {
 		return nil, err
 	}
-	runs, results, rollup := s.execute(specs)
-	res := &SweepResult{Runs: runs, Results: results, Telemetry: rollup}
-	res.aggregate()
+	mem := &MemorySink{Keep: s.Keep}
+	sink := RunSink(mem)
+	var roll *RollupSink
+	if s.Telemetry {
+		roll = &RollupSink{}
+		sink = MultiSink(mem, roll)
+	}
+	if err := s.execute(specs, sink); err != nil {
+		return nil, err
+	}
+	res := mem.Result()
+	if roll != nil {
+		res.Telemetry = &roll.Rollup
+	}
 	return res, nil
 }
 
-// execute runs the specs across the worker pool. Summaries (and, when Keep
-// is set, full Results) land at their slice position — which equals the
-// grid index for a full sweep but not for a shard, where specs is a
-// filtered subset that keeps the global RunSpec.Index labels.
-func (s *Sweep) execute(specs []RunSpec) ([]RunSummary, []*Result, *telemetry.Rollup) {
+// StreamSpec selects which slice of the grid a streaming sweep executes.
+type StreamSpec struct {
+	// Shard restricts execution to the runs of one shard (expansion index
+	// % N == K); the zero value means the whole grid (shard 0/1).
+	Shard Shard
+	// Skip, when set, drops already-completed runs from execution — the
+	// resume filter. Skipped runs never execute, are never delivered to
+	// the sink, and do not count toward its done/total.
+	Skip func(index int) bool
+}
+
+// Stream executes the grid (or one shard of it) without accumulating
+// anything: every completed run is handed to the sink and released, so
+// peak memory is flat in grid size — the entry point for mega-sweeps
+// whose run-logs (LogSink) or online aggregates (AggSink) replace the
+// in-memory SweepResult. Like RunShard, the sweep-level
+// ValidateInvariants flag folds into the digest identity (see Describe),
+// so logs written here merge with shard artifacts of the same settings.
+// Stream closes the sink exactly once, after the last delivery; per-run
+// failures land in their RunSummary.Err as always, and the returned error
+// reports structural problems or the first sink failure.
+func (s *Sweep) Stream(g *Grid, spec StreamSpec, sink RunSink) error {
+	if s.Keep {
+		return fmt.Errorf("mptcpsim: Stream with Keep would retain every Result and defeat flat-memory streaming; use a sink that consumes full results as they land instead")
+	}
+	shard := spec.Shard
+	if shard.N == 0 {
+		shard = Shard{K: 0, N: 1}
+	}
+	if err := shard.Validate(); err != nil {
+		return err
+	}
+	specs, _, err := s.expandFolded(g)
+	if err != nil {
+		return err
+	}
+	var mine []RunSpec
+	for _, sp := range specs {
+		if sp.Index%shard.N != shard.K {
+			continue
+		}
+		if spec.Skip != nil && spec.Skip(sp.Index) {
+			continue
+		}
+		mine = append(mine, sp)
+	}
+	execErr := s.execute(mine, sink)
+	if cerr := sink.Close(); execErr == nil {
+		execErr = cerr
+	}
+	return execErr
+}
+
+// Describe expands the grid and returns its canonical digest and total
+// run count under this sweep's settings — the header values a run-log
+// needs before the first run completes. The digest folds the sweep-level
+// ValidateInvariants flag exactly like RunShard, so artifacts only merge
+// across matching run settings.
+func (s *Sweep) Describe(g *Grid) (digest string, total int, err error) {
+	specs, digest, err := s.expandFolded(g)
+	if err != nil {
+		return "", 0, err
+	}
+	return digest, len(specs), nil
+}
+
+// execute runs the specs across the worker pool, feeding every completion
+// to the sink — the single dispatch point every results surface hangs off.
+// Completions are delivered under one lock: Accept calls never overlap,
+// done is monotone, and each run is delivered exactly once. The deprecated
+// OnResult/OnFailure hooks ride the same path as an adapter sink appended
+// to the chain. The first sink error stops further deliveries (remaining
+// runs still execute; their results are void) and is returned.
+func (s *Sweep) execute(specs []RunSpec, sink RunSink) error {
+	if s.OnResult != nil || s.OnFailure != nil {
+		sink = MultiSink(sink, &hookSink{onResult: s.OnResult, onFailure: s.OnFailure})
+	}
 	workers := s.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -737,20 +838,11 @@ func (s *Sweep) execute(specs []RunSpec) ([]RunSummary, []*Result, *telemetry.Ro
 		workers = len(specs)
 	}
 
-	runs := make([]RunSummary, len(specs))
-	var results []*Result
-	if s.Keep {
-		results = make([]*Result, len(specs))
-	}
-	var rollup *telemetry.Rollup
-	if s.Telemetry {
-		rollup = &telemetry.Rollup{}
-	}
-
 	var (
-		mu   sync.Mutex
-		done int
-		wg   sync.WaitGroup
+		mu      sync.Mutex
+		done    int
+		sinkErr error
+		wg      sync.WaitGroup
 	)
 	jobs := make(chan int)
 	wg.Add(workers)
@@ -766,28 +858,14 @@ func (s *Sweep) execute(specs []RunSpec) ([]RunSummary, []*Result, *telemetry.Ro
 					spec.Options.Telemetry = true
 				}
 				summary, full := runSpec(spec)
-				runs[i] = summary
-				if s.Keep {
-					results[i] = full
+				mu.Lock()
+				done++
+				if sinkErr == nil {
+					if err := sink.Accept(done, len(specs), summary, full); err != nil {
+						sinkErr = err
+					}
 				}
-				// The rollup and both hooks share one lock: sums and maxima
-				// commute, so the rollup is order-independent, and the hooks
-				// are guaranteed never to run concurrently with a monotone
-				// done count.
-				if rollup != nil || s.OnResult != nil || s.OnFailure != nil {
-					mu.Lock()
-					done++
-					if rollup != nil && full != nil {
-						rollup.Add(full.Telemetry)
-					}
-					if s.OnFailure != nil && summary.Err != "" {
-						s.OnFailure(summary, full)
-					}
-					if s.OnResult != nil {
-						s.OnResult(done, len(specs), summary)
-					}
-					mu.Unlock()
-				}
+				mu.Unlock()
 			}
 		}()
 	}
@@ -796,7 +874,7 @@ func (s *Sweep) execute(specs []RunSpec) ([]RunSummary, []*Result, *telemetry.Ro
 	}
 	close(jobs)
 	wg.Wait()
-	return runs, results, rollup
+	return sinkErr
 }
 
 // runSpec executes one grid point on a freshly built network (Run mutates

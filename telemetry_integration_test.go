@@ -160,7 +160,9 @@ func TestSweepTelemetryRollup(t *testing.T) {
 // TestSweepHooksSerialised locks the OnResult/OnFailure contract the
 // progress meter and flight dumps build on: callbacks never run
 // concurrently, done increments by exactly one per call, and every run is
-// reported.
+// reported. The hooks are now adapter sinks over the RunSink path, so
+// this test also pins that the adapters preserved the contract (the
+// sink-side half is TestStreamSinkContract in sink_test.go).
 func TestSweepHooksSerialised(t *testing.T) {
 	var inHook int32
 	prevDone := 0
