@@ -63,6 +63,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -133,6 +134,8 @@ type config struct {
 	eventLimit   uint64
 	streamPath   string
 	resumePath   string
+	workerID     string
+	lease        int
 }
 
 func main() {
@@ -157,6 +160,8 @@ func main() {
 	flag.Uint64Var(&cfg.eventLimit, "eventlimit", 0, "abort any run after this many simulation events (0 = no limit)")
 	flag.StringVar(&cfg.streamPath, "stream", "", "stream the sweep to this NDJSON run-log and render outputs from it (flat memory)")
 	flag.StringVar(&cfg.resumePath, "resume", "", "resume an interrupted -stream sweep from this run-log, skipping logged runs")
+	flag.StringVar(&cfg.workerID, "worker-id", "", "stamp this fleet worker id into the run-log header (provenance only)")
+	flag.IntVar(&cfg.lease, "lease", 0, "stamp this fleet lease epoch into the run-log header (provenance only)")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
 	memProf := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Usage = func() {
@@ -415,7 +420,8 @@ func runStream(cfg config, grid *mptcpsim.Grid, sweep *mptcpsim.Sweep, meter *te
 	if err != nil {
 		return err
 	}
-	header := mptcpsim.RunLogHeader{GridDigest: digest, K: shard.K, N: shard.N, Total: total}
+	header := mptcpsim.RunLogHeader{GridDigest: digest, K: shard.K, N: shard.N, Total: total,
+		Worker: cfg.workerID, Lease: cfg.lease}
 
 	f, skip, prevErrs, onDisk, err := openRunLog(path, header, resume, stderr)
 	if err != nil {
@@ -523,19 +529,21 @@ func openRunLog(path string, header mptcpsim.RunLogHeader, resume bool, stderr i
 		return f, nil, 0, false, nil
 	}
 	log, err := mptcpsim.ReadRunLog(f)
-	if err != nil {
-		return fail(fmt.Errorf("%s: %w", path, err))
-	}
-	if log.Torn() && log.TornTail == 0 {
-		// The header itself never committed; start the log over.
+	if errors.Is(err, mptcpsim.ErrHeaderTorn) {
+		// The writer died inside the header line: the log records nothing,
+		// so there is nothing to resume. Start the shard over rather than
+		// refusing — that is exactly what -resume is for after a crash.
 		if err := f.Truncate(0); err != nil {
 			return fail(err)
 		}
 		if _, err := f.Seek(0, io.SeekStart); err != nil {
 			return fail(err)
 		}
-		fmt.Fprintf(stderr, "resume: %s has no committed header; restarting the log\n", path)
+		fmt.Fprintf(stderr, "resume: %s: header torn, nothing to resume; re-executing the full shard\n", path)
 		return f, nil, 0, false, nil
+	}
+	if err != nil {
+		return fail(fmt.Errorf("%s: %w", path, err))
 	}
 	if log.Header.GridDigest != header.GridDigest {
 		return fail(fmt.Errorf("%s: run-log grid digest %.12s does not match this sweep's %.12s (different -grid, -check or library version?); resume with the original settings or -stream a fresh log",

@@ -149,6 +149,43 @@ func TestRunResumeAfterTruncation(t *testing.T) {
 	compareOutputsGolden(t, dir, stdout.String())
 }
 
+// TestRunResumeTornHeader pins the header-boundary crash case at the CLI
+// seam: a worker killed inside the run-log's header line leaves a file
+// with no committed header, and -resume must announce there is nothing to
+// resume, re-execute the full shard, and still render outputs
+// byte-identical to the golden sweep — not refuse with an empty-log error.
+func TestRunResumeTornHeader(t *testing.T) {
+	dir, gridPath := writeGoldenGrid(t)
+	logPath := filepath.Join(dir, "sweep.ndjson")
+	// A prefix of a genuine header with no committing newline — the bytes a
+	// writer killed mid-header leaves behind.
+	if err := os.WriteFile(logPath, []byte(`{"run_log":1,"grid_digest":"ab`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := config{
+		gridPath:   gridPath,
+		workers:    2,
+		quiet:      true,
+		check:      true,
+		resumePath: logPath,
+		csvPath:    filepath.Join(dir, "runs.csv"),
+		groupsPath: filepath.Join(dir, "groups.csv"),
+		jsonPath:   filepath.Join(dir, "sweep.json"),
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run(cfg, &stdout, &stderr); err != nil {
+		t.Fatalf("resume over a torn header: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "nothing to resume") {
+		t.Fatalf("resume never explained the torn header:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "(0 resumed from log)") {
+		t.Fatalf("resume credited runs from a log that committed none:\n%s", stderr.String())
+	}
+	compareOutputsGolden(t, dir, stdout.String())
+}
+
 // TestRunResumeProgress checks the progress meter across a resume: the
 // final heartbeat must account for the whole grid, not just the runs this
 // execution performed.

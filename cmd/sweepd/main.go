@@ -1,0 +1,314 @@
+// Command sweepd drives a fleet of sweep workers over one parameter grid:
+// the coordinator expands the grid once, cuts it into -shards slices, and
+// leases each slice to a worker with a deadline. Workers append to
+// per-shard NDJSON run-logs in the shared -spool directory; a worker that
+// crashes (or outlives its lease) is replaced by a new lease that resumes
+// the same log past the last committed record, so no completed run is ever
+// re-executed and a late straggler's double-finish is rejected by the
+// lease epoch. When every shard's log is complete, the coordinator merges
+// them through the same validated path as `sweep -merge` — the fleet's
+// report and output files are byte-identical to an unsharded `sweep` run
+// of the same grid, no matter how many workers died.
+//
+// By default shards execute in-process (goroutine workers). With -worker
+// the coordinator execs one `sweep` process per lease instead:
+//
+//	sweep -shard k/n -resume <spool>/shard-k-of-n.ndjson -q ...
+//
+// so workers are ordinary sweep invocations and anything able to write a
+// shard run-log can stand in for one.
+//
+// Examples:
+//
+//	sweepd -grid grid.json -shards 8 -fleet 3 -spool spool -json sweep.json
+//	sweepd -grid grid.json -shards 8 -fleet 3 -spool spool -worker ./sweep
+//	sweepd -grid grid.json -shards 4 -spool spool -progress - -http :6060
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"mptcpsim"
+	"mptcpsim/internal/fleet"
+	"mptcpsim/internal/telemetry"
+)
+
+// config carries the resolved command line.
+type config struct {
+	gridPath     string
+	shards       int
+	fleetSize    int
+	workers      int
+	check        bool
+	spool        string
+	workerBin    string
+	ttl          time.Duration
+	attempts     int
+	backoff      time.Duration
+	poll         time.Duration
+	csvPath      string
+	groupsPath   string
+	jsonPath     string
+	progressPath string
+	httpAddr     string
+	quiet        bool
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.gridPath, "grid", "", "JSON grid spec (default: built-in paper grid)")
+	flag.IntVar(&cfg.shards, "shards", 4, "number of grid slices to lease out")
+	flag.IntVar(&cfg.fleetSize, "fleet", 2, "concurrent leases (worker slots)")
+	flag.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "parallel runs inside each worker")
+	flag.BoolVar(&cfg.check, "check", false, "validate correctness invariants on every run")
+	flag.StringVar(&cfg.spool, "spool", "spool", "shared spool directory for shard run-logs")
+	flag.StringVar(&cfg.workerBin, "worker", "", "sweep binary to exec per lease (default: run shards in-process)")
+	flag.DurationVar(&cfg.ttl, "ttl", 10*time.Minute, "lease deadline; an expired lease is re-granted")
+	flag.IntVar(&cfg.attempts, "attempts", 5, "max grants per shard before the fleet aborts")
+	flag.DurationVar(&cfg.backoff, "backoff", time.Second, "delay before re-granting a failed shard")
+	flag.DurationVar(&cfg.poll, "poll", 200*time.Millisecond, "spool progress-scan interval")
+	flag.StringVar(&cfg.csvPath, "csv", "", "write the per-run table to this CSV file")
+	flag.StringVar(&cfg.groupsPath, "groups", "", "write the aggregate table to this CSV file")
+	flag.StringVar(&cfg.jsonPath, "json", "", "write the full result (runs + groups) to this JSON file")
+	flag.StringVar(&cfg.progressPath, "progress", "", "stream NDJSON fleet heartbeats to this file (- = stderr)")
+	flag.StringVar(&cfg.httpAddr, "http", "", "serve expvar + pprof debug endpoints on this address (e.g. :6060)")
+	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress coordinator lease notices")
+	flag.BoolVar(&cfg.quiet, "q", false, "shorthand for -quiet")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "sweepd: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+	if err := run(cfg, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the whole command against the given streams: notices and
+// heartbeats go to stderr, the deterministic report to stdout.
+func run(cfg config, stdout, stderr io.Writer) error {
+	if cfg.shards <= 0 {
+		return fmt.Errorf("-shards must be positive, have %d", cfg.shards)
+	}
+	if cfg.fleetSize <= 0 {
+		return fmt.Errorf("-fleet must be positive, have %d", cfg.fleetSize)
+	}
+	grid, err := loadGrid(cfg.gridPath)
+	if err != nil {
+		return err
+	}
+	sweep := &mptcpsim.Sweep{Workers: cfg.workers, ValidateInvariants: cfg.check}
+	_, total, err := sweep.Describe(grid)
+	if err != nil {
+		return err
+	}
+
+	var meter *telemetry.Meter
+	closeMeter := func() {}
+	if cfg.progressPath != "" {
+		w := stderr
+		var f *os.File
+		if cfg.progressPath != "-" {
+			if f, err = os.Create(cfg.progressPath); err != nil {
+				return err
+			}
+			w = f
+		}
+		meter = telemetry.NewMeter(w, total, cfg.fleetSize, time.Second)
+		meter.Activate()
+		closeMeter = func() {
+			meter.Close()
+			if f != nil {
+				f.Close()
+			}
+		}
+	}
+	defer closeMeter()
+	if cfg.httpAddr != "" {
+		addr, closeSrv, err := telemetry.DebugServer(cfg.httpAddr)
+		if err != nil {
+			return err
+		}
+		defer closeSrv()
+		fmt.Fprintf(stderr, "debug endpoint on http://%s/debug/vars\n", addr)
+	}
+
+	var runner fleet.Runner
+	if cfg.workerBin != "" {
+		runner = &fleet.ExecRunner{
+			Bin:      cfg.workerBin,
+			GridPath: cfg.gridPath,
+			Workers:  cfg.workers,
+			Check:    cfg.check,
+			Spool:    cfg.spool,
+			Stderr:   stderr,
+		}
+	} else {
+		runner = &fleet.Worker{Sweep: sweep, Grid: grid, Spool: cfg.spool}
+	}
+	coord := &fleet.Coordinator{
+		Sweep:       sweep,
+		Grid:        grid,
+		Shards:      cfg.shards,
+		Workers:     cfg.fleetSize,
+		Spool:       cfg.spool,
+		Runner:      runner,
+		TTL:         cfg.ttl,
+		MaxAttempts: cfg.attempts,
+		Backoff:     cfg.backoff,
+		Poll:        cfg.poll,
+		Meter:       meter,
+	}
+	if !cfg.quiet {
+		coord.Log = stderr
+	}
+	activateFleetVar(coord)
+
+	start := time.Now()
+	res, err := coord.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "fleet: merged %d runs from %d shards in %v\n",
+		len(res.Runs), cfg.shards, time.Since(start).Round(time.Millisecond))
+	if err := report(res, cfg, stdout); err != nil {
+		return err
+	}
+	if n := res.Errs(); n > 0 {
+		return fmt.Errorf("%d of %d runs failed", n, len(res.Runs))
+	}
+	return nil
+}
+
+// expvar integration mirrors telemetry.Meter.Activate: tests create many
+// coordinators but expvar.Publish panics on duplicates, so one Func reads
+// whichever coordinator is currently active.
+var (
+	fleetVarOnce sync.Once
+	activeMu     sync.Mutex
+	activeCoord  *fleet.Coordinator
+)
+
+// activateFleetVar publishes the coordinator's live merged aggregate
+// (runs, errors, per-cell online stats) as the "fleet_progress" expvar.
+func activateFleetVar(c *fleet.Coordinator) {
+	fleetVarOnce.Do(func() {
+		expvar.Publish("fleet_progress", expvar.Func(func() any {
+			activeMu.Lock()
+			cur := activeCoord
+			activeMu.Unlock()
+			if cur == nil {
+				return nil
+			}
+			agg := cur.Progress()
+			return struct {
+				Runs   int                 `json:"runs"`
+				Errors int                 `json:"errors"`
+				Groups []mptcpsim.GroupAgg `json:"groups"`
+			}{agg.Runs, agg.Errors, agg.Groups()}
+		}))
+	})
+	activeMu.Lock()
+	activeCoord = c
+	activeMu.Unlock()
+}
+
+// report renders the aggregate table and the best run to stdout and writes
+// the requested output files — the same text and bytes `sweep` produces
+// for this result, which is what the byte-identity contract is measured
+// against.
+func report(res *mptcpsim.SweepResult, cfg config, stdout io.Writer) error {
+	if err := res.Report(stdout); err != nil {
+		return err
+	}
+	if idx := res.SortRunsByGap(); len(idx) > 0 {
+		best := res.Runs[idx[0]]
+		fmt.Fprintf(stdout, "\nbest run: %s/%s cc=%s order=%s seed=%d at %.1f of %.1f Mbps (gap %.1f%%)\n",
+			best.Scenario, best.Perturbation, best.CC, best.OrderString(),
+			best.Seed, best.TotalMbps, best.OptimumMbps, best.Gap*100)
+	}
+	for _, out := range []struct {
+		path string
+		fn   func(io.Writer) error
+	}{
+		{cfg.csvPath, res.WriteCSV},
+		{cfg.groupsPath, res.WriteGroupsCSV},
+		{cfg.jsonPath, res.WriteJSON},
+	} {
+		if out.path == "" {
+			continue
+		}
+		if err := writeFile(out.path, out.fn); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "wrote", out.path)
+	}
+	return nil
+}
+
+// loadGrid reads the grid spec and resolves scenario file references
+// relative to the spec's directory — the same resolution `sweep` applies,
+// so both ends of an exec fleet expand the identical grid.
+func loadGrid(path string) (*mptcpsim.Grid, error) {
+	if path == "" {
+		return &mptcpsim.Grid{
+			CCs:    []string{"lia", "olia", "balia", "cubic", "reno", "wvegas"},
+			Orders: [][]int{{2, 1, 3}, {1, 2, 3}, {3, 1, 2}, {1, 3, 2}},
+		}, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	grid, err := mptcpsim.LoadGrid(f)
+	if err != nil {
+		return nil, err
+	}
+	for i, sc := range grid.Scenarios {
+		if sc.File == "" || sc.Scenario != nil {
+			continue
+		}
+		ref := sc.File
+		if !filepath.IsAbs(ref) {
+			ref = filepath.Join(filepath.Dir(path), ref)
+		}
+		sf, err := os.Open(ref)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		inline, err := mptcpsim.LoadScenario(sf)
+		sf.Close()
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		grid.Scenarios[i].Scenario = inline
+		grid.Scenarios[i].File = ""
+		if grid.Scenarios[i].Name == "" {
+			grid.Scenarios[i].Name = sc.File
+		}
+	}
+	return grid, nil
+}
+
+func writeFile(path string, fn func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

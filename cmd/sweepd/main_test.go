@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mptcpsim"
+)
+
+// testGrid is a small fleet-sized grid: 2 CCs x 2 orders x 3 seeds = 12
+// runs, short enough to execute many times per test binary.
+const testGrid = `{
+  "ccs": ["cubic", "olia"],
+  "orders": [[2, 1, 3], [1, 2, 3]],
+  "seeds": [1, 2, 3],
+  "duration_ms": 150
+}`
+
+// TestRunMatchesUnshardedSweep is the CLI end of the byte-identity
+// contract: sweepd's report and all three output files must be
+// byte-identical to rendering the unsharded library result through the
+// same code path.
+func TestRunMatchesUnshardedSweep(t *testing.T) {
+	dir := t.TempDir()
+	gridPath := filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(gridPath, []byte(testGrid), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := config{
+		gridPath:     gridPath,
+		shards:       3,
+		fleetSize:    2,
+		workers:      2,
+		spool:        filepath.Join(dir, "spool"),
+		ttl:          time.Minute,
+		attempts:     3,
+		backoff:      10 * time.Millisecond,
+		poll:         5 * time.Millisecond,
+		csvPath:      filepath.Join(dir, "runs.csv"),
+		groupsPath:   filepath.Join(dir, "groups.csv"),
+		jsonPath:     filepath.Join(dir, "sweep.json"),
+		progressPath: filepath.Join(dir, "progress.ndjson"),
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run(cfg, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+
+	// The reference: the same grid swept unsharded, rendered through the
+	// same report helper into a sibling set of files.
+	grid, err := loadGrid(gridPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := (&mptcpsim.Sweep{Workers: 2}).Run(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDir := t.TempDir()
+	refCfg := config{
+		csvPath:    filepath.Join(refDir, "runs.csv"),
+		groupsPath: filepath.Join(refDir, "groups.csv"),
+		jsonPath:   filepath.Join(refDir, "sweep.json"),
+	}
+	var wantOut bytes.Buffer
+	if err := report(want, refCfg, &wantOut); err != nil {
+		t.Fatal(err)
+	}
+
+	gotReport := stdout.String()
+	wantReport := wantOut.String()
+	// The "wrote <path>" lines name different directories; compare them
+	// structurally and the rest byte-for-byte.
+	stripWrote := func(s string) (body string, wrote []string) {
+		var kept []string
+		for _, line := range strings.SplitAfter(s, "\n") {
+			if strings.HasPrefix(line, "wrote ") {
+				wrote = append(wrote, filepath.Base(strings.TrimSpace(strings.TrimPrefix(line, "wrote "))))
+				continue
+			}
+			kept = append(kept, line)
+		}
+		return strings.Join(kept, ""), wrote
+	}
+	gotBody, gotWrote := stripWrote(gotReport)
+	wantBody, wantWrote := stripWrote(wantReport)
+	if gotBody != wantBody {
+		t.Errorf("fleet report differs from unsharded report:\n--- fleet ---\n%s\n--- unsharded ---\n%s", gotBody, wantBody)
+	}
+	if fmt.Sprint(gotWrote) != fmt.Sprint(wantWrote) {
+		t.Errorf("wrote lines = %v, want %v", gotWrote, wantWrote)
+	}
+
+	for _, name := range []string{"runs.csv", "groups.csv", "sweep.json"} {
+		got, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := os.ReadFile(filepath.Join(refDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, ref) {
+			t.Errorf("%s differs between fleet and unsharded sweep (%d vs %d bytes)", name, len(got), len(ref))
+		}
+	}
+
+	// Heartbeats: every line valid JSON, final line accounts for all runs.
+	raw, err := os.ReadFile(cfg.progressPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("no heartbeats written")
+	}
+	var last struct {
+		Done  int `json:"done"`
+		Total int `json:"total"`
+	}
+	for i, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("heartbeat line %d is not valid JSON: %q", i+1, line)
+		}
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Done != 12 || last.Total != 12 {
+		t.Errorf("final heartbeat done/total = %d/%d, want 12/12", last.Done, last.Total)
+	}
+}
+
+// TestRunRejectsBadFlags pins the precondition errors.
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run(config{shards: 0}, nil, nil); err == nil || !strings.Contains(err.Error(), "-shards") {
+		t.Errorf("shards=0: err = %v, want -shards complaint", err)
+	}
+	if err := run(config{shards: 1, fleetSize: 0}, nil, nil); err == nil || !strings.Contains(err.Error(), "-fleet") {
+		t.Errorf("fleet=0: err = %v, want -fleet complaint", err)
+	}
+}

@@ -1,0 +1,102 @@
+package fleet
+
+import (
+	"context"
+
+	"mptcpsim"
+)
+
+// Worker executes leased shards in-process — sweepd's default mode, no
+// separate sweep binary required. Each Run opens (or resumes) the shard's
+// spool run-log, skips committed indices, and streams the rest through
+// the library sweep, honouring the lease deadline via ctx.
+type Worker struct {
+	// Sweep is the execution template (Workers, ValidateInvariants); its
+	// hooks and sinks are not used. Grid is the fleet's grid.
+	Sweep *mptcpsim.Sweep
+	Grid  *mptcpsim.Grid
+	// Spool is the shared spool directory.
+	Spool string
+	// SyncEvery is the run-log durability batch (0 = the library default).
+	SyncEvery int
+	// WrapSink, when set, wraps the shard's log sink — the crash-injection
+	// seam for tests. The wrapper's error poisons the stream exactly like
+	// a sink write failure.
+	WrapSink func(lease Lease, sink mptcpsim.RunSink) mptcpsim.RunSink
+}
+
+func (w *Worker) Run(ctx context.Context, lease Lease) error {
+	digest, total, err := w.Sweep.Describe(w.Grid)
+	if err != nil {
+		return err
+	}
+	header := mptcpsim.RunLogHeader{
+		GridDigest: digest,
+		K:          lease.K, N: lease.N,
+		Total:  total,
+		Worker: lease.Worker,
+		Lease:  lease.Epoch,
+	}
+	path := ShardLogPath(w.Spool, lease.K, lease.N)
+	f, skip, _, onDisk, err := OpenShardLog(path, header)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sink, err := mptcpsim.NewLogSink(f, header,
+		mptcpsim.LogOptions{Sync: f.Sync, Resume: onDisk, SyncEvery: w.SyncEvery})
+	if err != nil {
+		return err
+	}
+	chain := mptcpsim.RunSink(sink)
+	if w.WrapSink != nil {
+		chain = w.WrapSink(lease, chain)
+	}
+	// The deadline guard goes outermost so an expired lease stops
+	// delivering (and flushing) immediately, before any injected fault.
+	chain = &deadlineSink{ctx: ctx, next: chain}
+
+	exec := &mptcpsim.Sweep{
+		Workers:            w.Sweep.Workers,
+		ValidateInvariants: w.Sweep.ValidateInvariants,
+	}
+	spec := mptcpsim.StreamSpec{Shard: mptcpsim.Shard{K: lease.K, N: lease.N}}
+	if len(skip) > 0 {
+		spec.Skip = func(index int) bool { return skip[index] }
+	}
+	if err := exec.Stream(w.Grid, spec, chain); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// deadlineSink poisons the stream once the lease context is done and —
+// crucially — suppresses the final Close flush in that case: a worker
+// whose lease expired must stop touching the log at once, because a
+// replacement may already be appending to it. Losing the buffered,
+// uncommitted records is exactly the crash semantics resume handles.
+type deadlineSink struct {
+	ctx  context.Context
+	next mptcpsim.RunSink
+}
+
+func (d *deadlineSink) Accept(done, total int, s mptcpsim.RunSummary, full *mptcpsim.Result) error {
+	if err := d.ctx.Err(); err != nil {
+		return err
+	}
+	return d.next.Accept(done, total, s, full)
+}
+
+func (d *deadlineSink) Flush() error {
+	if err := d.ctx.Err(); err != nil {
+		return err
+	}
+	return d.next.Flush()
+}
+
+func (d *deadlineSink) Close() error {
+	if err := d.ctx.Err(); err != nil {
+		return err
+	}
+	return d.next.Close()
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"io"
+	"math"
 	"sync"
 	"time"
 )
@@ -22,9 +23,14 @@ type Heartbeat struct {
 	Total  int `json:"total"`
 	Failed int `json:"failed"`
 	// RunsPerS is the EWMA completion rate, EtaS the projected seconds to
-	// completion at that rate (0 when done or unknown).
-	RunsPerS float64 `json:"runs_per_s"`
-	EtaS     float64 `json:"eta_s"`
+	// completion at that rate. Both are omitted (JSON null semantics)
+	// while unknown: at the first tick the EWMA can still be zero, and a
+	// coarse clock can measure a zero inter-completion gap, so computing
+	// them regardless would put +Inf/NaN on the wire — which is not JSON
+	// and breaks every NDJSON consumer downstream. Pointers, not zeroes:
+	// a rate of 0 runs/s is a meaningful (stuck) value, absence is not.
+	RunsPerS *float64 `json:"runs_per_s,omitempty"`
+	EtaS     *float64 `json:"eta_s,omitempty"`
 	// Workers is the configured pool size; IdleMs the wall milliseconds
 	// since the previous completion — a liveness signal (a large value
 	// with Done < Total means the pool is stuck or on a long run).
@@ -111,6 +117,37 @@ func (m *Meter) Record(failed bool) error {
 	return nil
 }
 
+// Advance folds a batch of n completions (failed of them failed) observed
+// at once — the fleet-coordinator form of Record, for consumers that learn
+// about completions by scanning worker run-logs rather than executing runs
+// themselves. The wall time since the previous observation is spread evenly
+// across the batch, so the EWMA (and therefore the ETA) converges to the
+// fleet-wide aggregate completion rate. Advance with n <= 0 is a no-op.
+func (m *Meter) Advance(n, failed int) error {
+	if n <= 0 {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	m.done += n
+	m.failed += failed
+	dt := now.Sub(m.last).Seconds() / float64(n)
+	for i := 0; i < n; i++ {
+		m.records++
+		if m.records == 1 {
+			m.ewmaDt = dt
+		} else {
+			m.ewmaDt = (1-ewmaAlpha)*m.ewmaDt + ewmaAlpha*dt
+		}
+	}
+	m.last = now
+	if m.lastEmit.IsZero() || now.Sub(m.lastEmit) >= m.interval || m.done >= m.total {
+		return m.emit(now)
+	}
+	return nil
+}
+
 // Close emits the final heartbeat (even if the interval has not elapsed).
 func (m *Meter) Close() error {
 	m.mu.Lock()
@@ -129,10 +166,22 @@ func (m *Meter) snapshot(now time.Time) Heartbeat {
 		Workers:  m.workers,
 		IdleMs:   now.Sub(m.last).Milliseconds(),
 	}
+	// Rate and ETA only when they are finite numbers. ewmaDt == 0 is the
+	// first-tick / coarse-clock case; a denormally small ewmaDt (a long run
+	// of zero-length gaps decaying the EWMA) makes 1/ewmaDt overflow to
+	// +Inf, which json must never see.
 	if m.ewmaDt > 0 {
-		hb.RunsPerS = 1 / m.ewmaDt
-		if remaining := m.total - m.done; remaining > 0 {
-			hb.EtaS = float64(remaining) * m.ewmaDt
+		if rps := 1 / m.ewmaDt; !math.IsInf(rps, 0) && !math.IsNaN(rps) {
+			hb.RunsPerS = &rps
+		}
+	}
+	if remaining := m.total - m.done; remaining <= 0 {
+		// Nothing left: the ETA is a known zero, not an unknown.
+		zero := 0.0
+		hb.EtaS = &zero
+	} else if m.ewmaDt > 0 {
+		if eta := float64(remaining) * m.ewmaDt; !math.IsInf(eta, 0) && !math.IsNaN(eta) {
+			hb.EtaS = &eta
 		}
 	}
 	return hb

@@ -278,10 +278,10 @@ func TestMeterHeartbeats(t *testing.T) {
 	if err := json.Unmarshal([]byte(lines[3]), &final); err != nil {
 		t.Fatal(err)
 	}
-	if final.Done != 4 || final.Failed != 1 || final.EtaS != 0 {
+	if final.Done != 4 || final.Failed != 1 || final.EtaS == nil || *final.EtaS != 0 {
 		t.Fatalf("final heartbeat done=%d failed=%d eta=%v, want 4/1/0", final.Done, final.Failed, final.EtaS)
 	}
-	if final.RunsPerS <= 0 {
+	if final.RunsPerS == nil || *final.RunsPerS <= 0 {
 		t.Fatalf("final heartbeat runs/s = %v, want > 0", final.RunsPerS)
 	}
 }
@@ -398,7 +398,7 @@ func TestMeterResume(t *testing.T) {
 	// The EWMA must seed from this execution's first inter-completion gap
 	// (2s), not blend it against a zero baseline as a done-count seed
 	// would: 3 remaining runs at 2s each.
-	if first.RunsPerS != 0.5 || first.EtaS != 6 {
+	if first.RunsPerS == nil || *first.RunsPerS != 0.5 || first.EtaS == nil || *first.EtaS != 6 {
 		t.Fatalf("first heartbeat runs/s=%v eta=%v, want 0.5/6 (session-local rate)",
 			first.RunsPerS, first.EtaS)
 	}
@@ -414,8 +414,109 @@ func TestMeterResume(t *testing.T) {
 	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &final); err != nil {
 		t.Fatal(err)
 	}
-	if final.Done != 10 || final.Failed != 3 || final.EtaS != 0 {
+	if final.Done != 10 || final.Failed != 3 || final.EtaS == nil || *final.EtaS != 0 {
 		t.Fatalf("final heartbeat done/failed/eta = %d/%d/%v, want 10/3/0",
 			final.Done, final.Failed, final.EtaS)
+	}
+}
+
+// TestMeterHeartbeatsValidUnderCoarseClock is the Inf/NaN regression test:
+// a coarse (or fake) clock hands the meter zero-length intervals — zero
+// elapsed time at the first tick, then a long run of zero gaps that decays
+// the rate EWMA into denormal territory where 1/ewmaDt overflows to +Inf.
+// Every heartbeat must stay independently parseable JSON with finite
+// numbers: rate and ETA are omitted while unknown, never Inf/NaN (which
+// json.Encode refuses, so the unclamped meter also silently dropped
+// heartbeats by erroring).
+func TestMeterHeartbeatsValidUnderCoarseClock(t *testing.T) {
+	var buf bytes.Buffer
+	m, clock := newTestMeter(&buf, 10000, 2, 0)
+
+	// First completion with zero elapsed time: the rate is unknown.
+	if err := m.Record(false); err != nil {
+		t.Fatalf("zero-elapsed Record: %v", err)
+	}
+	var hb Heartbeat
+	first := strings.TrimSpace(buf.String())
+	if err := json.Unmarshal([]byte(first), &hb); err != nil {
+		t.Fatalf("zero-elapsed heartbeat is not valid JSON: %v: %s", err, first)
+	}
+	if hb.RunsPerS != nil || hb.EtaS != nil {
+		t.Fatalf("zero-elapsed heartbeat reports rate/eta %v/%v, want both omitted",
+			hb.RunsPerS, hb.EtaS)
+	}
+	if hb.ElapsedS != 0 || hb.Done != 1 {
+		t.Fatalf("zero-elapsed heartbeat elapsed/done = %v/%d, want 0/1", hb.ElapsedS, hb.Done)
+	}
+
+	// One real gap seeds the EWMA, then thousands of zero gaps decay it
+	// through the denormal range (0.8^n underflows around n=3800), where
+	// the unclamped 1/ewmaDt is +Inf.
+	clock.advance(time.Second)
+	for i := 0; i < 5000; i++ {
+		if err := m.Record(i%7 == 0); err != nil {
+			t.Fatalf("Record %d under a stuck clock: %v", i, err)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 5001 {
+		t.Fatalf("meter emitted %d heartbeats, want 5001", len(lines))
+	}
+	for i, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("heartbeat %d is not valid JSON: %s", i, line)
+		}
+		if strings.Contains(line, "Inf") || strings.Contains(line, "NaN") {
+			t.Fatalf("heartbeat %d leaks a non-finite value: %s", i, line)
+		}
+	}
+}
+
+// TestMeterAdvance drives the fleet-coordinator batch path: completions
+// observed by scanning worker run-logs fold into done/failed as a batch,
+// and the scan gap spreads evenly across the batch so the EWMA converges
+// on the fleet-wide rate.
+func TestMeterAdvance(t *testing.T) {
+	var buf bytes.Buffer
+	m, clock := newTestMeter(&buf, 8, 3, 0)
+
+	clock.advance(4 * time.Second)
+	if err := m.Advance(4, 1); err != nil {
+		t.Fatal(err)
+	}
+	var hb Heartbeat
+	if err := json.Unmarshal([]byte(strings.TrimSpace(buf.String())), &hb); err != nil {
+		t.Fatal(err)
+	}
+	if hb.Done != 4 || hb.Failed != 1 || hb.Total != 8 {
+		t.Fatalf("batched heartbeat done/failed/total = %d/%d/%d, want 4/1/8",
+			hb.Done, hb.Failed, hb.Total)
+	}
+	// 4 completions over 4s = 1 run/s each; the EWMA seeds at 1 and stays
+	// there, so 4 remaining runs project a 4 s ETA.
+	if hb.RunsPerS == nil || *hb.RunsPerS != 1 || hb.EtaS == nil || *hb.EtaS != 4 {
+		t.Fatalf("batched heartbeat runs/s=%v eta=%v, want 1/4", hb.RunsPerS, hb.EtaS)
+	}
+
+	// An empty scan is a no-op: nothing emitted, nothing advanced.
+	before := buf.Len()
+	if err := m.Advance(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != before {
+		t.Fatal("Advance(0, 0) emitted a heartbeat")
+	}
+
+	clock.advance(4 * time.Second)
+	if err := m.Advance(4, 0); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &hb); err != nil {
+		t.Fatal(err)
+	}
+	if hb.Done != 8 || hb.Failed != 1 || hb.EtaS == nil || *hb.EtaS != 0 {
+		t.Fatalf("final batched heartbeat done/failed/eta = %d/%d/%v, want 8/1/0",
+			hb.Done, hb.Failed, hb.EtaS)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -36,6 +37,13 @@ type RunLogHeader struct {
 	N int `json:"n"`
 	// Total is the run count of the whole grid, not just this shard.
 	Total int `json:"total"`
+	// Worker and Lease are optional fleet provenance: the id of the worker
+	// process that wrote the log and the lease epoch it held the shard
+	// under (see internal/fleet). Purely diagnostic — resume and merge
+	// compare only the digest and shard shape, so a re-leased shard's log
+	// may carry a different worker/lease than the one that started it.
+	Worker string `json:"worker,omitempty"`
+	Lease  int    `json:"lease,omitempty"`
 }
 
 // Validate reports whether the header describes a usable run-log.
@@ -87,10 +95,11 @@ type LogOptions struct {
 // in batches when the destination supports it. Nothing is retained per
 // run, so peak memory is flat in grid size.
 type LogSink struct {
-	w     *bufio.Writer
-	enc   *json.Encoder
-	opt   LogOptions
-	since int
+	w      *bufio.Writer
+	enc    *json.Encoder
+	opt    LogOptions
+	since  int
+	closed bool
 }
 
 // NewLogSink returns a sink writing the run-log to w. Unless opt.Resume is
@@ -120,6 +129,11 @@ func NewLogSink(w io.Writer, h RunLogHeader, opt LogOptions) (*LogSink, error) {
 }
 
 func (s *LogSink) Accept(done, total int, sum RunSummary, full *Result) error {
+	if s.closed {
+		// A record appended past Close would land beyond the log's commit
+		// mark and silently survive into merges; refuse instead.
+		return fmt.Errorf("run-log sink: %w", ErrSinkClosed)
+	}
 	rec := RunRecord{Run: sum}
 	if s.opt.Hash && full != nil && sum.Err == "" {
 		rec.Hash = full.Hash()
@@ -148,11 +162,32 @@ func (s *LogSink) barrier() error {
 
 // Flush forces every buffered record onto the destination, through the
 // fsync when one is configured.
-func (s *LogSink) Flush() error { return s.barrier() }
+func (s *LogSink) Flush() error {
+	if s.closed {
+		return fmt.Errorf("run-log sink: %w", ErrSinkClosed)
+	}
+	return s.barrier()
+}
 
-// Close finalises the log. The underlying writer (typically a file the
-// caller opened) stays open — closing it is the caller's job.
-func (s *LogSink) Close() error { return s.barrier() }
+// Close finalises the log: a last durability barrier, after which the sink
+// refuses further Accepts (and a second Close) with ErrSinkClosed. The
+// underlying writer (typically a file the caller opened) stays open —
+// closing it is the caller's job.
+func (s *LogSink) Close() error {
+	if s.closed {
+		return fmt.Errorf("run-log sink: %w", ErrSinkClosed)
+	}
+	s.closed = true
+	return s.barrier()
+}
+
+// ErrHeaderTorn reports a run-log cut before its header line was
+// committed: an empty file, or header bytes with no terminating newline (a
+// writer killed inside — or exactly at the end of — the header line).
+// Such a file records nothing, so there is nothing to resume: callers that
+// can re-execute should truncate the file and restart the shard from
+// scratch; a merge must refuse it.
+var ErrHeaderTorn = errors.New("run-log header torn, nothing to resume")
 
 // RunLog is a parsed run-log: the header, every complete record, and the
 // position of a torn trailing record if the log was cut mid-write.
@@ -221,7 +256,9 @@ func (l *RunLog) ShardResult() *ShardResult {
 // ReadRunLog parses a run-log written by LogSink. A torn trailing record —
 // the final line unparseable or missing its newline, the signature of a
 // killed writer — is not an error: it is reported via TornTail so resume
-// can truncate and rewrite it. Corruption anywhere else (a bad mid-file
+// can truncate and rewrite it. A cut before the header's newline (including
+// the empty file) is the ErrHeaderTorn case: the log records nothing and
+// resume restarts from scratch. Corruption anywhere else (a bad mid-file
 // line, a duplicate index, an unknown field) is an error: an append-only
 // single-writer log never produces it, so it means the file is not what
 // the caller thinks it is.
@@ -234,13 +271,14 @@ func ReadRunLog(r io.Reader) (*RunLog, error) {
 		return nil, fmt.Errorf("mptcpsim: run-log: %w", err)
 	}
 	if len(bytes.TrimSpace(line)) == 0 {
-		return nil, fmt.Errorf("mptcpsim: run-log: empty file (no header)")
+		return nil, fmt.Errorf("mptcpsim: run-log: empty file: %w", ErrHeaderTorn)
 	}
 	if err == io.EOF {
-		// A header without its newline is a writer killed mid-header;
-		// nothing usable follows, so treat the whole file as torn.
-		log.TornTail = 0
-		return log, nil
+		// Header bytes without the newline commit mark: a writer killed
+		// mid-header. Not a TornTail — that offset points at a torn
+		// *record* after a committed header, and here no header was
+		// committed at all.
+		return nil, fmt.Errorf("mptcpsim: run-log: header cut after %d bytes: %w", len(line), ErrHeaderTorn)
 	}
 	if uerr := unmarshalStrict(line, &log.Header); uerr != nil {
 		return nil, fmt.Errorf("mptcpsim: run-log header: %w", uerr)

@@ -2,6 +2,7 @@ package mptcpsim
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -209,13 +210,23 @@ func TestReadRunLogTornTail(t *testing.T) {
 		}
 	}
 
-	// A header cut before its newline: the whole file is torn at 0.
-	log, err := ReadRunLog(bytes.NewReader(raw[:len(lines[0])-1]))
-	if err != nil {
-		t.Fatal(err)
+	// Every truncation point before the header's committing newline — the
+	// empty file, any cut inside the header bytes, and the cut exactly at
+	// the end of the header text — is the ErrHeaderTorn case: nothing was
+	// committed, so there is nothing to resume and no tail offset to report.
+	for cut := 0; cut < len(lines[0]); cut++ {
+		_, err := ReadRunLog(bytes.NewReader(raw[:cut]))
+		if !errors.Is(err, ErrHeaderTorn) {
+			t.Fatalf("header cut at byte %d: err = %v, want ErrHeaderTorn", cut, err)
+		}
 	}
-	if !log.Torn() || log.TornTail != 0 {
-		t.Fatalf("mid-header cut: torn=%v tail=%d, want torn at 0", log.Torn(), log.TornTail)
+
+	// The cut right after the header's newline is a committed empty log:
+	// clean, zero records, everything still to run.
+	log, err := ReadRunLog(bytes.NewReader(raw[:len(lines[0])]))
+	if err != nil || log.Torn() || len(log.Runs) != 0 {
+		t.Fatalf("cut after header newline: err=%v torn=%v records=%d, want clean empty log",
+			err, log != nil && log.Torn(), len(log.Runs))
 	}
 
 	// A clean log read normally.

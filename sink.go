@@ -1,11 +1,20 @@
 package mptcpsim
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 
 	"mptcpsim/internal/stats"
 	"mptcpsim/internal/telemetry"
 )
+
+// ErrSinkClosed is returned (wrapped) by sinks whose Accept — or a second
+// Close — arrives after Close. The sink contract promises exactly one
+// Close after the last Accept; sinks with externally visible finalisation
+// (a run-log's commit mark, an aggregate snapshot handed to a merge)
+// enforce it rather than silently accepting records past the end.
+var ErrSinkClosed = errors.New("sink already closed")
 
 // RunSink is the single results surface of a sweep: every execution path
 // (Run, RunShard, Stream) feeds exactly one sink chain, and everything
@@ -39,14 +48,21 @@ type RunSink interface {
 
 // MultiSink fans every Accept, Flush and Close out to each sink in order.
 // All sinks see every call even when an earlier one errors; the first
-// error is returned.
-func MultiSink(sinks ...RunSink) RunSink { return multiSink(sinks) }
+// error is returned. Once closed, the fan-out refuses further Accepts
+// (and a second Close) with ErrSinkClosed instead of forwarding them.
+func MultiSink(sinks ...RunSink) RunSink { return &multiSink{sinks: sinks} }
 
-type multiSink []RunSink
+type multiSink struct {
+	sinks  []RunSink
+	closed bool
+}
 
-func (m multiSink) Accept(done, total int, s RunSummary, full *Result) error {
+func (m *multiSink) Accept(done, total int, s RunSummary, full *Result) error {
+	if m.closed {
+		return fmt.Errorf("multi sink: %w", ErrSinkClosed)
+	}
 	var first error
-	for _, sink := range m {
+	for _, sink := range m.sinks {
 		if err := sink.Accept(done, total, s, full); err != nil && first == nil {
 			first = err
 		}
@@ -54,9 +70,9 @@ func (m multiSink) Accept(done, total int, s RunSummary, full *Result) error {
 	return first
 }
 
-func (m multiSink) Flush() error {
+func (m *multiSink) Flush() error {
 	var first error
-	for _, sink := range m {
+	for _, sink := range m.sinks {
 		if err := sink.Flush(); err != nil && first == nil {
 			first = err
 		}
@@ -64,9 +80,13 @@ func (m multiSink) Flush() error {
 	return first
 }
 
-func (m multiSink) Close() error {
+func (m *multiSink) Close() error {
+	if m.closed {
+		return fmt.Errorf("multi sink: %w", ErrSinkClosed)
+	}
+	m.closed = true
 	var first error
-	for _, sink := range m {
+	for _, sink := range m.sinks {
 		if err := sink.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -195,11 +215,15 @@ type AggSink struct {
 	Gap stats.Online
 
 	groups map[groupKey]*GroupAgg
+	closed bool
 }
 
 type groupKey struct{ scenario, pert, events, cc, sched string }
 
 func (a *AggSink) Accept(done, total int, s RunSummary, full *Result) error {
+	if a.closed {
+		return fmt.Errorf("aggregation sink: %w", ErrSinkClosed)
+	}
 	if a.groups == nil {
 		a.groups = make(map[groupKey]*GroupAgg)
 	}
@@ -231,7 +255,48 @@ func (a *AggSink) Accept(done, total int, s RunSummary, full *Result) error {
 }
 
 func (a *AggSink) Flush() error { return nil }
-func (a *AggSink) Close() error { return nil }
+
+// Close freezes the aggregate: once closed, further Accepts (and a second
+// Close) return ErrSinkClosed, so a snapshot taken after Close — e.g. one
+// handed to a fleet-level Merge — cannot drift.
+func (a *AggSink) Close() error {
+	if a.closed {
+		return fmt.Errorf("aggregation sink: %w", ErrSinkClosed)
+	}
+	a.closed = true
+	return nil
+}
+
+// Merge folds another sink's aggregate state into a — the fleet
+// coordinator's fold across per-shard aggregates. Cells merge by group key
+// with online accumulator merging (stats.Online.Merge), so the fold equals
+// a single sink having seen every run, up to floating-point association.
+// The closed states are independent: merging does not reopen a.
+func (a *AggSink) Merge(b *AggSink) {
+	a.Runs += b.Runs
+	a.Errors += b.Errors
+	a.Gap.Merge(b.Gap)
+	for k, g := range b.groups {
+		if a.groups == nil {
+			a.groups = make(map[groupKey]*GroupAgg)
+		}
+		dst, ok := a.groups[k]
+		if !ok {
+			cp := *g
+			a.groups[k] = &cp
+			continue
+		}
+		if g.minIndex < dst.minIndex {
+			dst.minIndex = g.minIndex
+		}
+		dst.Runs += g.Runs
+		dst.Errors += g.Errors
+		dst.Converged += g.Converged
+		dst.Gap.Merge(g.Gap)
+		dst.TotalMbps.Merge(g.TotalMbps)
+		dst.ConvergedAtS.Merge(g.ConvergedAtS)
+	}
+}
 
 // Groups snapshots the cells in first-appearance-in-expansion order (the
 // order SweepResult.Groups uses), deterministic for any worker count.

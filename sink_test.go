@@ -1,6 +1,8 @@
 package mptcpsim
 
 import (
+	"bytes"
+	"errors"
 	"io"
 	"math"
 	"runtime"
@@ -134,6 +136,140 @@ func TestStreamSinkContract(t *testing.T) {
 	if check.closed != 1 {
 		t.Fatalf("Stream closed the sink %d times, want exactly once", check.closed)
 	}
+}
+
+// TestAggSinkMerge folds two per-shard aggregates into one and checks the
+// fold equals a single sink that saw every run — counts and group order
+// exactly, moments to floating-point noise — which is what lets the fleet
+// coordinator serve live fleet-wide aggregates from per-shard sinks.
+func TestAggSinkMerge(t *testing.T) {
+	grid := func() *Grid {
+		g := sweepGrid()
+		g.Perturbations = []Perturbation{{Name: "base"}, {Name: "lossy", Loss: 0.005}}
+		return g
+	}
+	whole := &AggSink{}
+	if err := (&Sweep{Workers: 2}).Stream(grid(), StreamSpec{}, whole); err != nil {
+		t.Fatal(err)
+	}
+
+	folded := &AggSink{}
+	for k := 0; k < 2; k++ {
+		part := &AggSink{}
+		spec := StreamSpec{Shard: Shard{K: k, N: 2}}
+		if err := (&Sweep{Workers: 2}).Stream(grid(), spec, part); err != nil {
+			t.Fatal(err)
+		}
+		folded.Merge(part)
+	}
+
+	close := func(a, b float64) bool { return math.Abs(a-b) <= 1e-9*(1+math.Abs(b)) }
+	if folded.Runs != whole.Runs || folded.Errors != whole.Errors {
+		t.Fatalf("folded %d runs / %d errors, whole sink saw %d / %d",
+			folded.Runs, folded.Errors, whole.Runs, whole.Errors)
+	}
+	if !close(folded.Gap.Mean, whole.Gap.Mean) || !close(folded.Gap.Std(), whole.Gap.Std()) {
+		t.Fatalf("folded gap mean/std %v/%v vs whole %v/%v",
+			folded.Gap.Mean, folded.Gap.Std(), whole.Gap.Mean, whole.Gap.Std())
+	}
+	fg, wg := folded.Groups(), whole.Groups()
+	if len(fg) != len(wg) {
+		t.Fatalf("folded %d groups, whole sink has %d", len(fg), len(wg))
+	}
+	for i := range fg {
+		f, w := fg[i], wg[i]
+		if f.Scenario != w.Scenario || f.Perturbation != w.Perturbation ||
+			f.Events != w.Events || f.CC != w.CC || f.Scheduler != w.Scheduler {
+			t.Fatalf("group %d: folded cell %s/%s/%s/%s out of order vs whole %s/%s/%s/%s",
+				i, f.Perturbation, f.Events, f.CC, f.Scheduler,
+				w.Perturbation, w.Events, w.CC, w.Scheduler)
+		}
+		if f.Runs != w.Runs || f.Errors != w.Errors || f.Converged != w.Converged {
+			t.Fatalf("group %d counts %d/%d/%d, want %d/%d/%d",
+				i, f.Runs, f.Errors, f.Converged, w.Runs, w.Errors, w.Converged)
+		}
+		if !close(f.Gap.Mean, w.Gap.Mean) || !close(f.Gap.Std(), w.Gap.Std()) ||
+			f.Gap.Min != w.Gap.Min || f.Gap.Max != w.Gap.Max {
+			t.Fatalf("group %d gap: folded {%v %v %v %v} vs whole {%v %v %v %v}",
+				i, f.Gap.Mean, f.Gap.Std(), f.Gap.Min, f.Gap.Max,
+				w.Gap.Mean, w.Gap.Std(), w.Gap.Min, w.Gap.Max)
+		}
+	}
+}
+
+// TestSinkCloseContract pins the closed-state edge of the sink contract
+// for every sink with externally visible finalisation: after Close,
+// Accept refuses with ErrSinkClosed instead of silently mutating state
+// past the end, and a second Close is detected rather than repeated.
+func TestSinkCloseContract(t *testing.T) {
+	sinks := map[string]func(t *testing.T) RunSink{
+		"LogSink": func(t *testing.T) RunSink {
+			s, err := NewLogSink(io.Discard, RunLogHeader{N: 1, Total: 4}, LogOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"AggSink":   func(t *testing.T) RunSink { return &AggSink{} },
+		"MultiSink": func(t *testing.T) RunSink { return MultiSink(&AggSink{}) },
+	}
+	for name, mk := range sinks {
+		t.Run(name, func(t *testing.T) {
+			sink := mk(t)
+			if err := sink.Accept(1, 4, RunSummary{Index: 0}, nil); err != nil {
+				t.Fatalf("Accept on an open sink: %v", err)
+			}
+			if err := sink.Close(); err != nil {
+				t.Fatalf("first Close: %v", err)
+			}
+			if err := sink.Accept(2, 4, RunSummary{Index: 1}, nil); !errors.Is(err, ErrSinkClosed) {
+				t.Fatalf("Accept after Close: err = %v, want ErrSinkClosed", err)
+			}
+			if err := sink.Close(); !errors.Is(err, ErrSinkClosed) {
+				t.Fatalf("double Close: err = %v, want ErrSinkClosed", err)
+			}
+		})
+	}
+
+	// The LogSink specifics: a refused post-Close Accept must leave the
+	// bytes on disk untouched (nothing may land past the commit mark), and
+	// a closed MultiSink must not forward the refused call to its children.
+	t.Run("LogSink stops writing", func(t *testing.T) {
+		var buf bytes.Buffer
+		s, err := NewLogSink(&buf, RunLogHeader{N: 1, Total: 4}, LogOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Accept(1, 4, RunSummary{Index: 0}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		committed := buf.Len()
+		s.Accept(2, 4, RunSummary{Index: 1}, nil)
+		if buf.Len() != committed {
+			t.Fatalf("post-Close Accept grew the log from %d to %d bytes", committed, buf.Len())
+		}
+		if err := s.Flush(); !errors.Is(err, ErrSinkClosed) {
+			t.Fatalf("Flush after Close: err = %v, want ErrSinkClosed", err)
+		}
+	})
+	t.Run("MultiSink stops forwarding", func(t *testing.T) {
+		inner := &failingSink{failAt: 100}
+		m := MultiSink(inner)
+		if err := m.Accept(1, 4, RunSummary{Index: 0}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+		m.Accept(2, 4, RunSummary{Index: 1}, nil)
+		m.Close()
+		if inner.accepts != 1 {
+			t.Fatalf("closed fan-out forwarded Accept; inner saw %d, want 1", inner.accepts)
+		}
+	})
 }
 
 // heapSampler measures peak live heap across a sweep by forcing a collection
